@@ -1,0 +1,30 @@
+"""Extra artifact: execution-time breakdown per application and mode.
+
+Quantifies Section 6's qualitative statements about where software DSM
+time goes: base TreadMarks spends its time in faults/protection, diff
+machinery and fetch stalls; the compiler-optimized version shifts the
+profile toward compute.
+"""
+
+from repro.harness.experiments import breakdown
+from repro.harness.report import render_breakdown
+
+
+def test_breakdown(benchmark, nprocs):
+    rows = benchmark.pedantic(
+        breakdown, kwargs={"nprocs": nprocs}, rounds=1, iterations=1)
+    print("\n" + render_breakdown(rows))
+    by_key = {(r["app"], r["mode"] == "base"): r for r in rows}
+    for app in ("jacobi", "fft3d", "is", "shallow", "gauss", "mgs"):
+        base = by_key[(app, True)]
+        opt = by_key[(app, False)]
+        # Optimization shifts the profile toward useful compute.
+        assert opt["compute"] >= base["compute"], app
+        # Fetch stalls shrink (aggregation/merge/push remove them).
+        assert opt["fetch"] <= base["fetch"] + 1.0, app
+    # IS is the only lock-synchronized program: its base run shows the
+    # lock-wait component (migratory data), the barrier codes show none.
+    is_lock = by_key[("is", True)]["lock"]
+    assert is_lock > 1.0
+    for app in ("jacobi", "fft3d", "shallow", "gauss", "mgs"):
+        assert by_key[(app, True)]["lock"] < is_lock

@@ -1,0 +1,46 @@
+"""Figure 5: speedups at 8 processors — Tmk, Opt-Tmk, XHPF, PVMe.
+
+Shape assertions from the paper's Section 6.1:
+
+* compiler optimization improves every application (4-59% in the paper);
+* PVMe is the performance ceiling;
+* XHPF is close to PVMe for the five programs it can compile, and
+  refuses IS (indirect array access);
+* the optimized DSM is much closer to message passing than the base
+  (base: 5-212% slower than PVMe; optimized: 0-29%).
+"""
+
+from repro.harness.experiments import figure5
+from repro.harness.report import render_figure5
+
+
+def test_figure5_speedups(benchmark, nprocs):
+    rows = benchmark.pedantic(
+        figure5, kwargs={"nprocs": nprocs}, rounds=1, iterations=1)
+    print("\n" + render_figure5(rows))
+    by_app = {r["app"]: r for r in rows}
+    assert len(by_app) == 6
+
+    for app, r in by_app.items():
+        # Optimization never hurts.
+        assert r["Opt-Tmk"] >= r["Tmk"] * 0.98, app
+        # PVMe is the ceiling (small tolerance for scheduling noise).
+        assert r["PVMe"] >= r["Opt-Tmk"] * 0.95, app
+        if r["XHPF"] is not None:
+            assert r["PVMe"] >= r["XHPF"] * 0.9, app
+
+    # XHPF cannot parallelize IS.
+    assert by_app["is"]["XHPF"] is None
+
+    # IS and 3D-FFT see the large gains (paper: 48-59%).
+    for app in ("is", "fft3d"):
+        r = by_app[app]
+        improvement = 1.0 - r["Tmk"] / r["Opt-Tmk"]
+        assert improvement > 0.4, f"{app}: only {improvement:.0%}"
+
+    # The optimized DSM lands within ~35% of PVMe for the regular codes
+    # (paper: 0-29%), and base TreadMarks is much further away for the
+    # irregular ones.
+    for app in ("jacobi", "fft3d", "mgs"):
+        r = by_app[app]
+        assert r["Opt-Tmk"] >= r["PVMe"] * 0.65, app

@@ -1,0 +1,46 @@
+"""Figure 6: per-application speedups under each optimization level.
+
+Shape assertions from the paper's Section 6.2:
+
+* communication aggregation and consistency elimination always help
+  (Section 6.4 conclusion 1);
+* Gauss and MGS profit most from merging data with synchronization (the
+  barrier broadcast of the pivot/normalized column);
+* the bars that are not applicable stay not applicable: no merge/Push
+  for Shallow (procedure boundaries), no Push for IS/Gauss/MGS, no XHPF
+  for IS.
+"""
+
+from repro.harness.experiments import figure6
+from repro.harness.report import render_figure6
+
+
+def test_figure6_optimization_levels(benchmark, nprocs):
+    rows = benchmark.pedantic(
+        figure6, kwargs={"nprocs": nprocs}, rounds=1, iterations=1)
+    print("\n" + render_figure6(rows))
+    by_app = {r["app"]: r for r in rows}
+
+    for app, r in by_app.items():
+        # Aggregation alone already improves on base ...
+        assert r["aggr"] >= r["base"] * 0.98, app
+        # ... and consistency elimination is at worst a mild trade-off
+        # (it ships whole pages instead of diffs; for the data-heavy
+        # 3D-FFT small set the paper also sees aggregation dominate).
+        assert r["aggr+cons"] >= r["aggr"] * 0.90, app
+
+    # Applicability mirrors the paper's n/a bars.
+    assert by_app["shallow"]["merge"] is None
+    assert by_app["shallow"]["push"] is None
+    for app in ("is", "gauss", "mgs"):
+        assert by_app[app]["push"] is None
+    assert by_app["is"]["XHPF"] is None
+
+    # The broadcast merge is the most effective level for Gauss and MGS.
+    for app in ("gauss", "mgs"):
+        r = by_app[app]
+        assert r["merge"] >= r["aggr+cons"], app
+
+    # Push is where 3D-FFT's remaining gap closes (false sharing).
+    r = by_app["fft3d"]
+    assert r["push"] >= r["aggr+cons"]

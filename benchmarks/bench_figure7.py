@@ -1,0 +1,26 @@
+"""Figure 7: synchronous vs asynchronous data fetching.
+
+The paper's Section 6.3: "Asynchronous data fetching dominates
+synchronous data fetching in almost all cases" — the overlap of
+communication and computation outweighs the extra memory-protection
+operations.
+"""
+
+from repro.harness.experiments import figure7
+from repro.harness.report import render_figure7
+
+
+def test_figure7_async_vs_sync(benchmark, nprocs):
+    rows = benchmark.pedantic(
+        figure7, kwargs={"nprocs": nprocs}, rounds=1, iterations=1)
+    print("\n" + render_figure7(rows))
+    assert len(rows) == 6
+    wins = 0
+    for r in rows:
+        assert r["Sync"] is not None and r["Async"] is not None
+        # Both beat (or match) base TreadMarks.
+        assert r["Async"] >= r["Tmk"] * 0.98, r["app"]
+        if r["Async"] >= r["Sync"] * 0.999:
+            wins += 1
+    # "in almost all cases": at least 4 of the 6 applications.
+    assert wins >= 4, f"async won only {wins}/6"

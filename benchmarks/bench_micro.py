@@ -1,0 +1,101 @@
+"""Section 5 microbenchmarks: the cost-model calibration points.
+
+The paper reports for the 8-node IBM SP/2:
+
+* minimum roundtrip (smallest message, one interrupt): 365 us
+* minimum time to acquire a free (remote) lock:        427 us
+* minimum time for an 8-processor barrier:             893 us
+
+These are exact calibration targets of the simulator's cost model; the
+benchmarks regenerate and verify them, and time how fast the simulator
+itself executes the primitives.
+"""
+
+import pytest
+
+from repro.machine import MachineConfig
+from repro.memory import SharedLayout
+from repro.net import Network
+from repro.sim import Engine
+from repro.tm.system import TmSystem
+
+
+def run_roundtrip():
+    engine = Engine()
+    cfg = MachineConfig(nprocs=2)
+    net = Network(engine, cfg, 2)
+    result = {}
+
+    def requester(proc):
+        ep = net.endpoint(0)
+        t0 = engine.now
+        ep.send(1, "request", size=0)
+        ep.recv(kind="reply")
+        result["rtt"] = engine.now - t0
+        ep.send(1, "stop")
+
+    def responder(proc):
+        ep = net.endpoint(1)
+
+        def handle(msg):
+            ep.charge(cfg.request_service)
+            ep.send(msg.src, "reply", size=0)
+
+        ep.on("request", handle)
+        ep.recv(kind="stop")
+
+    for i, main in enumerate((requester, responder)):
+        proc = engine.add_process(f"p{i}", main)
+        net.attach(proc)
+    engine.run()
+    return result["rtt"]
+
+
+def run_lock_acquire():
+    layout = SharedLayout()
+    layout.add_array("x", (8,))
+    system = TmSystem(nprocs=2, layout=layout)
+    result = {}
+
+    def main(node):
+        if node.pid == 0:
+            node.lock_acquire(1)     # manager: P1, token remote
+            result["t"] = node.proc.engine.now
+            node.lock_release(1)
+
+    system.run(main)
+    return result["t"]
+
+
+def run_barrier():
+    layout = SharedLayout()
+    layout.add_array("x", (8,))
+    system = TmSystem(nprocs=8, layout=layout)
+    result = {}
+
+    def main(node):
+        node.barrier()
+        if node.pid == 7:
+            result["t"] = node.proc.engine.now
+        node.proc.advance(10000.0)   # keep the exit barrier clear
+
+    system.run(main)
+    return result["t"]
+
+
+def test_roundtrip_365us(benchmark):
+    rtt = benchmark.pedantic(run_roundtrip, rounds=3, iterations=1)
+    print(f"\n  roundtrip: paper 365 us, simulated {rtt:.1f} us")
+    assert rtt == pytest.approx(365.0, rel=0.01)
+
+
+def test_lock_acquire_427us(benchmark):
+    t = benchmark.pedantic(run_lock_acquire, rounds=3, iterations=1)
+    print(f"\n  free remote lock: paper 427 us, simulated {t:.1f} us")
+    assert t == pytest.approx(427.0, rel=0.01)
+
+
+def test_barrier_893us(benchmark):
+    t = benchmark.pedantic(run_barrier, rounds=3, iterations=1)
+    print(f"\n  8-proc barrier: paper 893 us, simulated {t:.1f} us")
+    assert t == pytest.approx(893.0, rel=0.01)

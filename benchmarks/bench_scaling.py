@@ -1,0 +1,21 @@
+"""Extra artifact: speedup scaling over 2/4/8 processors.
+
+The paper measures at 8 processors and argues (Section 6.4) that the
+gap between base TreadMarks and the optimized system grows with the
+processor count (synchronization and consistency overheads grow).
+"""
+
+from repro.harness.experiments import scaling
+from repro.harness.report import render_scaling
+
+
+def test_scaling(benchmark):
+    rows = benchmark.pedantic(scaling, rounds=1, iterations=1)
+    print("\n" + render_scaling(rows))
+    for r in rows:
+        # Optimized DSM scales: more processors, more speedup.
+        assert r["Opt@8"] > r["Opt@2"], r["app"]
+        # The optimized-vs-base advantage does not shrink with scale.
+        gain2 = r["Opt@2"] / r["Tmk@2"]
+        gain8 = r["Opt@8"] / r["Tmk@8"]
+        assert gain8 >= gain2 * 0.9, r["app"]

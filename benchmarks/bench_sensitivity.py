@@ -1,0 +1,25 @@
+"""Extra artifact: platform sensitivity sweep.
+
+Section 1 of the paper: on platforms with different message costs "the
+relative values of the improvements obtained by compiler support may
+differ, but the methods remain applicable."  Sweep all communication
+costs by 4x in both directions and verify the claim: the optimized DSM
+never loses to base TreadMarks, and the gap widens as communication
+gets more expensive.
+"""
+
+from repro.harness.experiments import sensitivity
+
+
+def test_sensitivity_sweep(benchmark):
+    rows = benchmark.pedantic(
+        sensitivity, kwargs={"appname": "jacobi"}, rounds=1, iterations=1)
+    print(f"\n  {'comm x':>7s} {'Tmk':>7s} {'Opt':>7s} {'PVMe':>7s}")
+    for r in rows:
+        print(f"  {r['comm_cost_x']:7.2f} {r['Tmk']:7.2f} "
+              f"{r['Opt-Tmk']:7.2f} {r['PVMe']:7.2f}")
+    for r in rows:
+        assert r["Opt-Tmk"] >= r["Tmk"] * 0.98
+    # The compiler's advantage grows with communication cost.
+    gains = [r["Opt-Tmk"] / r["Tmk"] for r in rows]
+    assert gains[-1] >= gains[0]

@@ -1,0 +1,34 @@
+"""Table 1: applications, data set sizes, uniprocessor execution times.
+
+The paper's two data sets per application are the *calibration targets*
+of our per-element cost model (we cannot execute 4096x4096 Fortran on an
+SP/2); this benchmark runs the scaled ``bench`` data sets sequentially
+through the interpreter and prints both next to each other.
+"""
+
+from repro.harness.experiments import table1
+from repro.harness.report import render_table1
+
+
+def test_table1_uniprocessor_times(benchmark):
+    rows = benchmark.pedantic(table1, rounds=1, iterations=1)
+    print("\n" + render_table1(rows))
+    by_app = {}
+    for r in rows:
+        by_app.setdefault(r["app"], []).append(r)
+    assert len(by_app) == 6
+    for app, entries in by_app.items():
+        paper = [r for r in entries if r["paper_secs"] is not None]
+        assert len(paper) == 2, f"{app}: expected the paper's two sizes"
+        measured = [r for r in entries if r["simulated_secs"] is not None]
+        assert measured and all(r["simulated_secs"] > 0 for r in measured)
+
+
+def test_paper_large_set_is_slower_than_small():
+    rows = table1()
+    by_app = {}
+    for r in rows:
+        if r["paper_secs"] is not None:
+            by_app.setdefault(r["app"], []).append(r["paper_secs"])
+    for app, times in by_app.items():
+        assert max(times) > min(times)

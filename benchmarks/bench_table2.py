@@ -1,0 +1,39 @@
+"""Table 2: % reduction in page faults, messages and data (opt vs base).
+
+Shape assertions mirror the paper's findings:
+
+* "the optimized programs have almost all their page faults eliminated";
+* "the number of messages is reduced from 25-96%";
+* Jacobi moves MORE data when optimized (whole pages replace small
+  diffs: the paper reports -2312% / -614%), while IS moves much less
+  (diff accumulation collapses: 58.9% / 66.3%).
+"""
+
+from repro.harness.experiments import table2
+from repro.harness.report import render_table2
+
+
+def test_table2_reductions(benchmark, nprocs):
+    rows = benchmark.pedantic(
+        table2, kwargs={"nprocs": nprocs}, rounds=1, iterations=1)
+    print("\n" + render_table2(rows))
+    by_app = {r["app"]: r for r in rows}
+    assert len(by_app) == 6
+
+    # Page faults: almost all eliminated, every application.
+    for app, r in by_app.items():
+        assert r["segv_pct"] > 60.0, f"{app}: segv only {r['segv_pct']}%"
+
+    # Messages: always reduced.
+    for app, r in by_app.items():
+        assert r["msg_pct"] > 0.0, f"{app}: messages went up"
+
+    # Jacobi: consistency elimination ships whole pages of mostly
+    # unchanged data -> MORE bytes than base TreadMarks.
+    assert by_app["jacobi"]["data_pct"] < 0.0
+
+    # IS: diff accumulation collapses to one full page -> much less data.
+    assert by_app["is"]["data_pct"] > 30.0
+
+    # 3D-FFT: Push removes false sharing -> less data.
+    assert by_app["fft3d"]["data_pct"] > 0.0

@@ -1,0 +1,27 @@
+"""Shared configuration for the benchmark suite.
+
+Each ``bench_*`` module regenerates one table or figure of the paper.
+The underlying simulation runs are cached per (app, dataset, nprocs)
+within the pytest session, so regenerating several tables reuses runs.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    # Keep a stable, paper-order execution: micro, table1, table2, fig5-7.
+    order = ["bench_micro", "bench_table1", "bench_table2",
+             "bench_figure5", "bench_figure6", "bench_figure7"]
+
+    def key(item):
+        for i, name in enumerate(order):
+            if name in item.nodeid:
+                return i
+        return len(order)
+
+    items.sort(key=key)
+
+
+@pytest.fixture(scope="session")
+def nprocs():
+    return 8

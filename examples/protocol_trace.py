@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Watch the DSM protocol at work: trace a lock-migratory counter.
+
+Attaches a :class:`repro.tm.trace.Tracer` to a 3-processor run in which
+each processor increments a shared counter under a lock twice, then all
+meet at a barrier.  The trace shows the lazy-release-consistency
+machinery event by event: lock grants hopping along the requester
+chain, intervals closing at releases, the barrier's notice exchange.
+
+Usage:  python examples/protocol_trace.py
+"""
+
+from repro.memory import SharedLayout
+from repro.tm.system import TmSystem
+from repro.tm.trace import Tracer
+
+
+def main() -> None:
+    layout = SharedLayout(page_size=256)
+    layout.add_array("counter", (8,))
+    system = TmSystem(nprocs=3, layout=layout)
+    tracer = Tracer.attach(system)
+
+    def worker(node):
+        counter = node.array("counter")
+        for _ in range(2):
+            node.lock_acquire(0)
+            counter[0] = counter[0] + 1.0
+            node.lock_release(0)
+        node.barrier()
+        return counter[0]
+
+    res = system.run(worker)
+    print(f"final counter: {res.returns[0]} (expected 6.0)\n")
+    print(tracer.format())
+    print("\nEvent counts:", dict(sorted(tracer.counts().items())))
+    print(f"\nTotal: {res.messages} messages, "
+          f"{res.stats.segv} page faults, "
+          f"{res.stats.diffs_created} diffs created, "
+          f"{res.time:.0f} simulated microseconds.")
+
+
+if __name__ == "__main__":
+    main()

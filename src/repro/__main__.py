@@ -1,0 +1,70 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro table1
+    python -m repro table2 figure5
+    python -m repro all --nprocs 8 --dataset bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import experiments as ex
+from repro.harness import report
+
+ARTIFACTS = {
+    "table1": (lambda args: ex.table1(dataset=args.dataset),
+               report.render_table1),
+    "table2": (lambda args: ex.table2(dataset=args.dataset,
+                                      nprocs=args.nprocs),
+               report.render_table2),
+    "figure5": (lambda args: ex.figure5(dataset=args.dataset,
+                                        nprocs=args.nprocs),
+                report.render_figure5),
+    "figure6": (lambda args: ex.figure6(dataset=args.dataset,
+                                        nprocs=args.nprocs),
+                report.render_figure6),
+    "figure7": (lambda args: ex.figure7(dataset=args.dataset,
+                                        nprocs=args.nprocs),
+                report.render_figure7),
+    "breakdown": (lambda args: ex.breakdown(dataset=args.dataset,
+                                            nprocs=args.nprocs),
+                  report.render_breakdown),
+    "scaling": (lambda args: ex.scaling(dataset=args.dataset),
+                report.render_scaling),
+    "sensitivity": (lambda args: ex.sensitivity(dataset=args.dataset,
+                                                nprocs=args.nprocs),
+                    lambda rows: report.render_table(
+                        "Communication-cost sensitivity (Jacobi)",
+                        ["comm x", "Tmk", "Opt-Tmk", "PVMe"],
+                        [[r["comm_cost_x"], r["Tmk"], r["Opt-Tmk"],
+                          r["PVMe"]] for r in rows])),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's evaluation artifacts.")
+    parser.add_argument("artifacts", nargs="+",
+                        choices=sorted(ARTIFACTS) + ["all"],
+                        help="which tables/figures to regenerate")
+    parser.add_argument("--nprocs", type=int, default=8)
+    parser.add_argument("--dataset", default="bench",
+                        help="data set name (bench, tiny, ...)")
+    args = parser.parse_args(argv)
+
+    names = sorted(ARTIFACTS) if "all" in args.artifacts \
+        else args.artifacts
+    for name in names:
+        driver, renderer = ARTIFACTS[name]
+        print(renderer(driver(args)))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""The six benchmark applications of the paper.
+
+Each module provides an :class:`~repro.apps.base.AppSpec` with
+
+* an explicitly parallel shared-memory IR program (consumed by the DSM
+  runtime, the compiler, and the XHPF lowering),
+* a hand-coded message-passing implementation (the PVMe baseline),
+* a numpy sequential reference for correctness checking,
+* the paper's two data-set sizes plus scaled-down test sizes.
+
+Applications: Jacobi, 3D-FFT (NAS), Integer Sort (NAS), Shallow
+(shallow-water), Gauss (partial-pivoting elimination), MGS (modified
+Gram-Schmidt).
+"""
+
+from repro.apps.base import AppSpec, DataSet
+from repro.apps.registry import all_apps, get_app
+
+__all__ = ["AppSpec", "DataSet", "all_apps", "get_app"]

@@ -1,0 +1,57 @@
+"""Common application descriptor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.lang.nodes import Program
+
+
+@dataclass(frozen=True)
+class DataSet:
+    """One problem size for an application."""
+
+    name: str
+    params: Dict[str, int]
+    #: Paper-reported uniprocessor time in seconds, when this data set is
+    #: one of the two the paper measured (Table 1); None for scaled sizes.
+    paper_uniproc_secs: Optional[float] = None
+
+
+@dataclass
+class AppSpec:
+    """Everything the harness needs to run one application everywhere."""
+
+    name: str
+    #: Build the IR program for given parameter values and processor
+    #: count (cyclic distributions need concrete strides).
+    build_program: Callable[[Dict[str, int], int], Program]
+    #: Hand-coded message-passing main: ``fn(comm, params) -> result``.
+    #: The PVMe baseline; ``comm`` is an :class:`repro.mp.api.MpComm`.
+    mp_main: Callable
+    #: Sequential numpy reference returning the expected final contents of
+    #: each *checked* shared array: ``fn(params) -> {name: ndarray}``.
+    reference: Callable[[Dict[str, int]], Dict[str, np.ndarray]]
+    datasets: Dict[str, DataSet]
+    #: Reassemble the distributed MP result into the reference's shape:
+    #: ``fn(per_proc_returns, params) -> {name: ndarray}``.
+    assemble_mp: Optional[Callable] = None
+    #: Arrays whose final contents the tests verify (some scratch arrays
+    #: legitimately diverge).
+    check_arrays: List[str] = field(default_factory=list)
+    #: Which Figure 6 optimization bars apply (mirrors the paper's
+    #: "not applicable" annotations).
+    supports_sync_merge: bool = True
+    supports_push: bool = True
+    #: XHPF can parallelize this program (False only for IS).
+    xhpf_ok: bool = True
+
+    def dataset(self, name: str) -> DataSet:
+        return self.datasets[name]
+
+    def program(self, dataset: str, nprocs: int = 1) -> Program:
+        return self.build_program(dict(self.datasets[dataset].params),
+                                  nprocs)

@@ -1,0 +1,270 @@
+"""Gauss: Gaussian elimination with partial pivoting, column-cyclic.
+
+As in the paper: parallelization is cyclic to balance load.  At every
+iteration the owner of column k finds the pivot row and writes its index
+to a shared variable; all processors read that variable and the scaled
+pivot column — logically a broadcast, which is why merging data with
+synchronization (barrier-departure broadcast) is the most effective
+optimization for this program (paper Section 6.2).  The cyclic column
+sections are strided, so WRITE_ALL and Push do not apply — the write
+Validates stay consistency-preserving.
+
+The row-swap kernel's sections depend on the pivot row index read from
+shared memory *inside* the region; the kill-tracking in the analysis
+correctly degrades those accesses to *unknown*, so they run on the plain
+fault-driven path (partial analysis, as the paper anticipates).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.apps.base import AppSpec, DataSet
+from repro.lang import build as B
+from repro.lang.nodes import ArrayDecl, Program
+
+ELIM_COST = 0.0758    # per eliminated element (Table 1, 1024x1024)
+KERNEL_ELEM_COST = 0.05
+INIT_COST = 0.02
+
+
+def build_program(params: Dict[str, int], nprocs: int = 1) -> Program:
+    N = params["N"]
+    scale = params.get("cost_scale", 1.0)
+    elim_cost = ELIM_COST * scale
+    kern_cost = KERNEL_ELEM_COST * scale
+    init_cost = INIT_COST * scale
+    i, j, k = B.syms("i j k")
+    p_ = B.sym("p")
+    a = B.array_ref("a")
+    pivrow = B.array_ref("pivrow")
+    pivcol = B.array_ref("pivcol")
+    n = nprocs
+
+    def pivot_fn(env, views):
+        # Owner phase: find the pivot, swap own columns, scale, publish.
+        col = np.asarray(views["r0"]).reshape(-1)
+        kk = env["k"]
+        views["w0"][...] = float(kk + int(np.argmax(np.abs(col))))
+
+    def swap_fn(env, views):
+        if env["p"] == env["kowner"]:
+            return                   # the owner swapped in its own phase
+        block = views["w0"]          # rows k..N-1 of my trailing columns
+        r = int(np.asarray(views["r0"]).reshape(-1)[0])
+        rk = r - env["k"]
+        if rk > 0 and block.shape[1] > 0:
+            tmp = np.array(block[0, :], copy=True)
+            block[0, :] = block[rk, :]
+            block[rk, :] = tmp
+
+    def scale_fn(env, views):
+        col = np.asarray(views["r0"]).reshape(-1)
+        views["w0"][...] = (col[1:] / col[0]).reshape(views["w0"].shape)
+
+    def publish_fn(env, views):
+        # Copy the scaled pivot column into the broadcast buffer, whole
+        # (the declared WRITE covers every element, so the compiler may
+        # use WRITE_ALL and the barrier merge can broadcast it).
+        col = np.asarray(views["r0"]).reshape(-1)
+        out = views["w0"].reshape(-1)
+        kk = env["k"]
+        out[:kk] = 0.0
+        out[kk:] = col
+
+    Nsym = N   # concrete sizes keep the RSDs simple
+    pivot = B.kernel(
+        "pivot",
+        reads=[B.spec("a", (k, Nsym - 1), (k, k))],
+        writes=[B.spec("pivrow", (k, k))],
+        fn=pivot_fn,
+        cost=(B.num(Nsym) - k) * kern_cost,
+        owner=B.sym("kowner"))
+
+    # The swap touches only rows k and r, but r is read from shared
+    # memory inside the region; declare the (safe, owner-exclusive)
+    # superset of all trailing rows of my cyclic columns instead.
+    block_sec = B.spec("a", (k, Nsym - 1), (B.sym("cyc1"), Nsym - 1, n))
+    swap = B.kernel(
+        "swap_rows",
+        reads=[B.spec("pivrow", (k, k)), block_sec],
+        writes=[block_sec],
+        fn=swap_fn,
+        cost=(2 * (B.num(Nsym) - k) // n) * kern_cost)
+
+    def owner_swap_fn(env, views):
+        block = views["w0"]
+        r = int(np.asarray(views["r0"]).reshape(-1)[0])
+        rk = r - env["k"]
+        if rk > 0 and block.shape[1] > 0:
+            tmp = np.array(block[0, :], copy=True)
+            block[0, :] = block[rk, :]
+            block[rk, :] = tmp
+
+    owner_swap = B.kernel(
+        "swap_rows_owner",
+        reads=[B.spec("pivrow", (k, k)), block_sec],
+        writes=[block_sec],
+        fn=owner_swap_fn,
+        cost=(2 * (B.num(Nsym) - k) // n) * kern_cost,
+        owner=B.sym("kowner"))
+
+    scale = B.kernel(
+        "scale_column",
+        reads=[B.spec("a", (k, Nsym - 1), (k, k))],
+        writes=[B.spec("a", (k + 1, Nsym - 1), (k, k))],
+        fn=scale_fn,
+        cost=(B.num(Nsym) - k) * kern_cost,
+        owner=B.sym("kowner"))
+
+    # The owner re-publishes the scaled column into a reused broadcast
+    # buffer: readers touch the *same* page every iteration, so their
+    # per-page timestamps advance and each fetch carries one fresh diff
+    # instead of the column page's whole history.
+    publish = B.kernel(
+        "publish_pivot_column",
+        reads=[B.spec("a", (k, Nsym - 1), (k, k))],
+        writes=[B.spec("pivcol", (0, Nsym - 1))],
+        fn=publish_fn,
+        cost=(B.num(Nsym) - k) * kern_cost,
+        owner=B.sym("kowner"))
+
+    body = [
+        B.loop(j, p_, Nsym - 1, [
+            B.loop(i, 0, Nsym - 1, [
+                B.assign(a(i, j),
+                         0.001 * ((i * 17 + j * 31) % 97)
+                         + i.eq(j) * 5.0,
+                         cost=init_cost),
+            ]),
+        ], step=n),
+        B.barrier("B0"),
+        B.loop(k, 0, Nsym - 2, [
+            B.local("kowner", k % n, partition=True),
+            B.local("cyc1", k + (p_ - k) % n, partition=True),
+            B.local("cyc2", (k + 1) + (p_ - (k + 1)) % n, partition=True),
+            # Owner phase: pivot search, own-column swap, scale,
+            # publish — one region, then a single synchronization, as in
+            # the paper ("one processor determines the pivot row...").
+            pivot,
+            owner_swap,
+            scale,
+            publish,
+            B.barrier("B1"),
+            swap,
+            B.loop(j, B.sym("cyc2"), Nsym - 1, [
+                B.loop(i, k + 1, Nsym - 1, [
+                    B.assign(a(i, j), a(i, j) - pivcol(i) * a(k, j),
+                             cost=elim_cost),
+                ]),
+            ], step=n),
+            B.barrier("B2"),
+        ]),
+    ]
+    return Program(
+        "gauss",
+        arrays=[
+            ArrayDecl("a", (N, N), shared=True),
+            ArrayDecl("pivrow", (N,), shared=True),
+            ArrayDecl("pivcol", (N,), shared=True),
+        ],
+        body=body,
+        params=dict(params),
+    )
+
+
+def _init_matrix(N: int) -> np.ndarray:
+    ii = np.arange(N)[:, None]
+    jj = np.arange(N)[None, :]
+    return np.asfortranarray(
+        0.001 * ((ii * 17 + jj * 31) % 97) + (ii == jj) * 5.0)
+
+
+def reference(params: Dict[str, int]) -> Dict[str, np.ndarray]:
+    N = params["N"]
+    a = _init_matrix(N)
+    pivrow = np.zeros(N)
+    for k in range(N - 1):
+        r = k + int(np.argmax(np.abs(a[k:, k])))
+        pivrow[k] = float(r)
+        if r != k:
+            cols = np.arange(k, N)   # swap only the trailing columns
+            a[np.ix_([k, r], cols)] = a[np.ix_([r, k], cols)]
+        a[k + 1:, k] = a[k + 1:, k] / a[k, k]
+        a[k + 1:, k + 1:] -= np.outer(a[k + 1:, k], a[k, k + 1:])
+    return {"a": a, "pivrow": pivrow}
+
+
+def mp_main(comm, params: Dict[str, int]):
+    """Hand-coded MP Gauss: owner broadcasts pivot index + scaled column."""
+    N = params["N"]
+    scale = params.get("cost_scale", 1.0)
+    elim_cost = ELIM_COST * scale
+    kern_cost = KERNEL_ELEM_COST * scale
+    init_cost = INIT_COST * scale
+    pid, n = comm.pid, comm.nprocs
+    own = np.arange(pid, N, n)
+    a = np.asfortranarray(_init_matrix(N)[:, own].copy())
+    comm.compute(N * len(own) * init_cost)
+    for k in range(N - 1):
+        owner = k % n
+        if pid == owner:
+            lk = (k - pid) // n
+            col = a[:, lk]
+            r = k + int(np.argmax(np.abs(col[k:])))
+            comm.compute((N - k) * kern_cost)
+            if r != k:
+                tail = np.where(own >= k)[0]
+                a[np.ix_([k, r], tail)] = a[np.ix_([r, k], tail)]
+            comm.compute(2 * (N - k) // n * kern_cost)
+            col[k + 1:] = col[k + 1:] / col[k]
+            comm.compute((N - k) * kern_cost)
+            piv = np.empty(N - k + 1)
+            piv[0] = r
+            piv[1:] = col[k:]
+            comm.bcast(owner, piv, tag=("piv", k))
+        else:
+            piv = comm.bcast(owner, tag=("piv", k))
+            r = int(piv[0])
+            if r != k:
+                tail = np.where(own >= k)[0]
+                if len(tail):
+                    a[np.ix_([k, r], tail)] = a[np.ix_([r, k], tail)]
+            comm.compute(2 * (N - k) // n * kern_cost)
+        mult = piv[2:]             # scaled a[k+1:, k]
+        cols = np.where(own > k)[0]
+        if len(cols):
+            a[k + 1:, cols] -= np.outer(mult, a[k, cols])
+            comm.compute((N - k - 1) * len(cols) * elim_cost)
+    return (own, a)
+
+
+def assemble_mp(returns, params: Dict[str, int]) -> Dict[str, np.ndarray]:
+    N = params["N"]
+    a = np.zeros((N, N), order="F")
+    for own, block in returns:
+        a[:, own] = block
+    return {"a": a}
+
+
+APP = AppSpec(
+    name="gauss",
+    build_program=build_program,
+    mp_main=mp_main,
+    reference=reference,
+    datasets={
+        "large": DataSet("large", {"N": 2048},
+                         paper_uniproc_secs=3344.8),
+        "small": DataSet("small", {"N": 1024},
+                         paper_uniproc_secs=271.5),
+        "bench": DataSet("bench", {"N": 128, "cost_scale": 128}),
+        "tiny": DataSet("tiny", {"N": 48}),
+    },
+    assemble_mp=assemble_mp,
+    check_arrays=["a"],
+    supports_sync_merge=True,
+    supports_push=False,        # strided cyclic sections (paper Fig. 6)
+    xhpf_ok=True,
+)

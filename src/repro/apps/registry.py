@@ -1,0 +1,29 @@
+"""Registry of the paper's six applications."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.apps.base import AppSpec
+
+
+def all_apps() -> Dict[str, AppSpec]:
+    """Name -> spec for every application, in the paper's order."""
+    from repro.apps import jacobi
+    out = {"jacobi": jacobi.APP}
+    for modname in ("fft3d", "is_sort", "shallow", "gauss", "mgs"):
+        try:
+            module = __import__(f"repro.apps.{modname}",
+                                fromlist=["APP"])
+        except ImportError:
+            continue
+        out[module.APP.name] = module.APP
+    return out
+
+
+def get_app(name: str) -> AppSpec:
+    apps = all_apps()
+    try:
+        return apps[name]
+    except KeyError:
+        raise KeyError(f"unknown app {name!r}; have {sorted(apps)}") from None

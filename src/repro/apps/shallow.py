@@ -1,0 +1,343 @@
+"""Shallow: the NCAR shallow-water benchmark (simplified, faithful shape).
+
+Thirteen shared fields on an (M, N) grid, band-partitioned by columns,
+three phases per time step separated by barriers, with nearest-neighbour
+sharing across band edges only.  Each phase lives in its own procedure —
+without interprocedural analysis the call boundaries are fetch points, so
+(as in the paper) sync+data merge and Push are *not applicable*; the
+compiler still gets communication aggregation and consistency elimination.
+
+Each phase writes full columns (interior stencil plus explicit boundary
+rows), so the write sections are exact and contiguous and qualify for
+WRITE_ALL.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.apps.base import AppSpec, DataSet
+from repro.lang import build as B
+from repro.lang.nodes import ArrayDecl, Program
+
+FLUX_COST = 0.08      # per element per flux statement (cu, cv, z, h)
+NEW_COST = 0.08       # per element per phase-2 statement
+SMOOTH_COST = 0.025   # per element per phase-3 statement
+INIT_COST = 0.02
+
+C1 = 0.04             # tdts8-like coefficient
+C2 = 0.02             # tdtsdx-like coefficient
+ALPHA = 0.001
+
+FIELDS = ["p", "u", "v", "pold", "uold", "vold",
+          "pnew", "unew", "vnew", "cu", "cv", "z", "h"]
+
+
+def build_program(params: Dict[str, int],
+                  nprocs: int = 1) -> Program:
+    M, N, iters = params["M"], params["N"], params["iters"]
+    scale = params.get("cost_scale", 1.0)
+    flux_cost = FLUX_COST * scale
+    new_cost = NEW_COST * scale
+    smooth_cost = SMOOTH_COST * scale
+    init_cost = INIT_COST * scale
+    i, j, k = B.syms("i j k")
+    p_ = B.sym("p")
+    n = B.sym("nprocs")
+    refs = {name: B.array_ref(name) for name in FIELDS}
+    p, u, v = refs["p"], refs["u"], refs["v"]
+    pold, uold, vold = refs["pold"], refs["uold"], refs["vold"]
+    pnew, unew, vnew = refs["pnew"], refs["unew"], refs["vnew"]
+    cu, cv, z, h = refs["cu"], refs["cv"], refs["z"], refs["h"]
+    begin, end, jlo, jhi = B.syms("begin end jlo jhi")
+
+    def full_column_phase(stmts_for_j):
+        """Loop own interior columns; write full rows (0..M-1)."""
+        return B.loop(j, jlo, jhi, stmts_for_j)
+
+    phase1 = B.proc("calc_fluxes", [
+        full_column_phase([
+            B.loop(i, 1, M - 2, [
+                B.assign(cu(i, j), 0.5 * (p(i, j) + p(i - 1, j)) * u(i, j),
+                         cost=flux_cost),
+                B.assign(cv(i, j), 0.5 * (p(i, j) + p(i, j - 1)) * v(i, j),
+                         cost=flux_cost),
+                B.assign(z(i, j),
+                         ((v(i, j) - v(i - 1, j)) - (u(i, j) - u(i, j - 1)))
+                         * 0.25,
+                         cost=flux_cost),
+                B.assign(h(i, j),
+                         p(i, j) + 0.25 * (u(i, j) * u(i, j)
+                                           + v(i, j) * v(i, j)),
+                         cost=flux_cost),
+            ]),
+            B.assign(cu(0, j), 0.0, cost=init_cost),
+            B.assign(cu(M - 1, j), 0.0, cost=init_cost),
+            B.assign(cv(0, j), 0.0, cost=init_cost),
+            B.assign(cv(M - 1, j), 0.0, cost=init_cost),
+            B.assign(z(0, j), 0.0, cost=init_cost),
+            B.assign(z(M - 1, j), 0.0, cost=init_cost),
+            B.assign(h(0, j), 0.0, cost=init_cost),
+            B.assign(h(M - 1, j), 0.0, cost=init_cost),
+        ]),
+    ])
+
+    phase2 = B.proc("calc_new", [
+        full_column_phase([
+            B.loop(i, 1, M - 2, [
+                B.assign(unew(i, j),
+                         uold(i, j)
+                         + C1 * (z(i, j) + z(i, j + 1))
+                         * (cv(i, j) + cv(i, j + 1))
+                         - C2 * (h(i, j) - h(i - 1, j)),
+                         cost=new_cost),
+                B.assign(vnew(i, j),
+                         vold(i, j)
+                         - C1 * (z(i, j) + z(i + 1, j))
+                         * (cu(i, j) + cu(i + 1, j))
+                         - C2 * (h(i, j) - h(i, j - 1)),
+                         cost=new_cost),
+                B.assign(pnew(i, j),
+                         pold(i, j) - C2 * (cu(i + 1, j) - cu(i, j))
+                         - C2 * (cv(i, j + 1) - cv(i, j)),
+                         cost=new_cost),
+            ]),
+            B.assign(unew(0, j), 0.0, cost=init_cost),
+            B.assign(unew(M - 1, j), 0.0, cost=init_cost),
+            B.assign(vnew(0, j), 0.0, cost=init_cost),
+            B.assign(vnew(M - 1, j), 0.0, cost=init_cost),
+            B.assign(pnew(0, j), 0.0, cost=init_cost),
+            B.assign(pnew(M - 1, j), 0.0, cost=init_cost),
+        ]),
+    ])
+
+    phase3 = B.proc("time_smooth", [
+        B.loop(j, jlo, jhi, [
+            B.loop(i, 0, M - 1, [
+                B.assign(uold(i, j),
+                         u(i, j) + ALPHA * (unew(i, j) - 2.0 * u(i, j)
+                                            + uold(i, j)),
+                         cost=smooth_cost),
+                B.assign(vold(i, j),
+                         v(i, j) + ALPHA * (vnew(i, j) - 2.0 * v(i, j)
+                                            + vold(i, j)),
+                         cost=smooth_cost),
+                B.assign(pold(i, j),
+                         p(i, j) + ALPHA * (pnew(i, j) - 2.0 * p(i, j)
+                                            + pold(i, j)),
+                         cost=smooth_cost),
+                B.assign(u(i, j), unew(i, j), cost=smooth_cost),
+                B.assign(v(i, j), vnew(i, j), cost=smooth_cost),
+                B.assign(p(i, j), pnew(i, j), cost=smooth_cost),
+            ]),
+        ]),
+    ])
+
+    init = [
+        B.loop(j, begin, end, [
+            B.loop(i, 0, M - 1, [
+                B.assign(p(i, j), 10.0 + 0.01 * i + 0.02 * j,
+                         cost=init_cost),
+                B.assign(u(i, j), 0.5 + 0.001 * i, cost=init_cost),
+                B.assign(v(i, j), 0.3 + 0.001 * j, cost=init_cost),
+                B.assign(pold(i, j), 10.0 + 0.01 * i + 0.02 * j,
+                         cost=init_cost),
+                B.assign(uold(i, j), 0.5 + 0.001 * i, cost=init_cost),
+                B.assign(vold(i, j), 0.3 + 0.001 * j, cost=init_cost),
+            ]),
+        ]),
+    ]
+
+    body = [
+        B.local("w", B.sym("N") // n, partition=True),
+        B.local("begin", p_ * B.sym("w"), partition=True),
+        B.local("end", (p_ + 1) * B.sym("w") - 1, partition=True),
+        B.local("jlo", B.emax(begin, 1), partition=True),
+        B.local("jhi", B.emin(end, N - 2), partition=True),
+        *init,
+        B.barrier("B0"),
+        B.loop(k, 1, iters, [
+            phase1,
+            B.barrier("B1"),
+            phase2,
+            B.barrier("B2"),
+            phase3,
+            B.barrier("B3"),
+        ]),
+    ]
+    return Program(
+        "shallow",
+        arrays=[ArrayDecl(name, (M, N), shared=True) for name in FIELDS],
+        body=body,
+        params=dict(params),
+    )
+
+
+def reference(params: Dict[str, int]) -> Dict[str, np.ndarray]:
+    M, N, iters = params["M"], params["N"], params["iters"]
+    ii = np.arange(M, dtype=np.float64)[:, None]
+    jj = np.arange(N, dtype=np.float64)[None, :]
+    p = np.asfortranarray(10.0 + 0.01 * ii + 0.02 * jj)
+    u = np.asfortranarray(0.5 + 0.001 * ii + 0.0 * jj)
+    v = np.asfortranarray(0.3 + 0.001 * jj + 0.0 * ii)
+    pold, uold, vold = p.copy(), u.copy(), v.copy()
+    cu = np.zeros_like(p)
+    cv = np.zeros_like(p)
+    z = np.zeros_like(p)
+    h = np.zeros_like(p)
+    unew = np.zeros_like(p)
+    vnew = np.zeros_like(p)
+    pnew = np.zeros_like(p)
+    I = slice(1, M - 1)
+    J = slice(1, N - 1)
+    Im1 = slice(0, M - 2)
+    Ip1 = slice(2, M)
+    Jm1 = slice(0, N - 2)
+    Jp1 = slice(2, N)
+    for _ in range(iters):
+        cu[I, J] = 0.5 * (p[I, J] + p[Im1, J]) * u[I, J]
+        cv[I, J] = 0.5 * (p[I, J] + p[I, Jm1]) * v[I, J]
+        z[I, J] = ((v[I, J] - v[Im1, J]) - (u[I, J] - u[I, Jm1])) * 0.25
+        h[I, J] = p[I, J] + 0.25 * (u[I, J] ** 2 + v[I, J] ** 2)
+        for f in (cu, cv, z, h):
+            f[0, J] = 0.0
+            f[M - 1, J] = 0.0
+        unew[I, J] = (uold[I, J]
+                      + C1 * (z[I, J] + z[I, Jp1])
+                      * (cv[I, J] + cv[I, Jp1])
+                      - C2 * (h[I, J] - h[Im1, J]))
+        vnew[I, J] = (vold[I, J]
+                      - C1 * (z[I, J] + z[Ip1, J])
+                      * (cu[I, J] + cu[Ip1, J])
+                      - C2 * (h[I, J] - h[I, Jm1]))
+        pnew[I, J] = (pold[I, J] - C2 * (cu[Ip1, J] - cu[I, J])
+                      - C2 * (cv[I, Jp1] - cv[I, J]))
+        for f in (unew, vnew, pnew):
+            f[0, J] = 0.0
+            f[M - 1, J] = 0.0
+        uold[:, J] = u[:, J] + ALPHA * (unew[:, J] - 2.0 * u[:, J]
+                                        + uold[:, J])
+        vold[:, J] = v[:, J] + ALPHA * (vnew[:, J] - 2.0 * v[:, J]
+                                        + vold[:, J])
+        pold[:, J] = p[:, J] + ALPHA * (pnew[:, J] - 2.0 * p[:, J]
+                                        + pold[:, J])
+        u[:, J] = unew[:, J]
+        v[:, J] = vnew[:, J]
+        p[:, J] = pnew[:, J]
+    return {"p": p, "u": u, "v": v}
+
+
+def mp_main(comm, params: Dict[str, int]):
+    """Hand-coded MP shallow: ghost columns for the six stencil fields."""
+    M, N, iters = params["M"], params["N"], params["iters"]
+    scale = params.get("cost_scale", 1.0)
+    flux_cost = FLUX_COST * scale
+    new_cost = NEW_COST * scale
+    smooth_cost = SMOOTH_COST * scale
+    init_cost = INIT_COST * scale
+    pid, n = comm.pid, comm.nprocs
+    w = N // n
+    begin, end = pid * w, (pid + 1) * w - 1
+    W = w + 2   # with ghosts; local column g maps to global begin+g-1
+    ii = np.arange(M, dtype=np.float64)[:, None]
+    jj = np.arange(begin - 1, end + 2, dtype=np.float64)[None, :]
+    p = np.asfortranarray(10.0 + 0.01 * ii + 0.02 * jj)
+    u = np.asfortranarray(0.5 + 0.001 * ii + 0.0 * jj)
+    v = np.asfortranarray(0.3 + 0.001 * jj + 0.0 * ii)
+    pold, uold, vold = p.copy(), u.copy(), v.copy()
+    zeros = np.zeros_like(p)
+    cu, cv, z, h = (zeros.copy() for _ in range(4))
+    unew, vnew, pnew = (zeros.copy() for _ in range(3))
+
+    def exchange(fields, phase):
+        for fi, f in enumerate(fields):
+            if pid > 0:
+                comm.send(pid - 1, f[:, 1], tag=("l", phase, fi))
+            if pid < n - 1:
+                comm.send(pid + 1, f[:, w], tag=("r", phase, fi))
+        for fi, f in enumerate(fields):
+            if pid > 0:
+                f[:, 0] = comm.recv(src=pid - 1, tag=("r", phase, fi))
+            if pid < n - 1:
+                f[:, w + 1] = comm.recv(src=pid + 1, tag=("l", phase, fi))
+
+    # Interior global columns are 1..N-2; local interior slice:
+    glo = max(begin, 1) - begin + 1
+    ghi = min(end, N - 2) - begin + 1
+    J = slice(glo, ghi + 1)
+    Jm1 = slice(glo - 1, ghi)
+    Jp1 = slice(glo + 1, ghi + 2)
+    I = slice(1, M - 1)
+    Im1 = slice(0, M - 2)
+    Ip1 = slice(2, M)
+    ncols = ghi - glo + 1
+    for _ in range(iters):
+        exchange([p, u, v], "a")
+        cu[I, J] = 0.5 * (p[I, J] + p[Im1, J]) * u[I, J]
+        cv[I, J] = 0.5 * (p[I, J] + p[I, Jm1]) * v[I, J]
+        z[I, J] = ((v[I, J] - v[Im1, J]) - (u[I, J] - u[I, Jm1])) * 0.25
+        h[I, J] = p[I, J] + 0.25 * (u[I, J] ** 2 + v[I, J] ** 2)
+        for f in (cu, cv, z, h):
+            f[0, J] = 0.0
+            f[M - 1, J] = 0.0
+        comm.compute((M - 2) * ncols * 4 * flux_cost
+                     + 8 * ncols * init_cost)
+        exchange([cu, cv, z, h], "b")
+        unew[I, J] = (uold[I, J]
+                      + C1 * (z[I, J] + z[I, Jp1])
+                      * (cv[I, J] + cv[I, Jp1])
+                      - C2 * (h[I, J] - h[Im1, J]))
+        vnew[I, J] = (vold[I, J]
+                      - C1 * (z[I, J] + z[Ip1, J])
+                      * (cu[I, J] + cu[Ip1, J])
+                      - C2 * (h[I, J] - h[I, Jm1]))
+        pnew[I, J] = (pold[I, J] - C2 * (cu[Ip1, J] - cu[I, J])
+                      - C2 * (cv[I, Jp1] - cv[I, J]))
+        for f in (unew, vnew, pnew):
+            f[0, J] = 0.0
+            f[M - 1, J] = 0.0
+        comm.compute((M - 2) * ncols * 3 * new_cost + 6 * ncols * init_cost)
+        uold[:, J] = u[:, J] + ALPHA * (unew[:, J] - 2.0 * u[:, J]
+                                        + uold[:, J])
+        vold[:, J] = v[:, J] + ALPHA * (vnew[:, J] - 2.0 * v[:, J]
+                                        + vold[:, J])
+        pold[:, J] = p[:, J] + ALPHA * (pnew[:, J] - 2.0 * p[:, J]
+                                        + pold[:, J])
+        u[:, J] = unew[:, J]
+        v[:, J] = vnew[:, J]
+        p[:, J] = pnew[:, J]
+        comm.compute(M * ncols * 6 * smooth_cost)
+    return (p[:, 1:w + 1].copy(), u[:, 1:w + 1].copy(),
+            v[:, 1:w + 1].copy())
+
+
+def assemble_mp(returns, params: Dict[str, int]) -> Dict[str, np.ndarray]:
+    return {
+        "p": np.concatenate([r[0] for r in returns], axis=1),
+        "u": np.concatenate([r[1] for r in returns], axis=1),
+        "v": np.concatenate([r[2] for r in returns], axis=1),
+    }
+
+
+APP = AppSpec(
+    name="shallow",
+    build_program=build_program,
+    mp_main=mp_main,
+    reference=reference,
+    datasets={
+        "large": DataSet("large", {"M": 1024, "N": 1024, "iters": 100},
+                         paper_uniproc_secs=74.8),
+        "small": DataSet("small", {"M": 1024, "N": 512, "iters": 100},
+                         paper_uniproc_secs=36.9),
+        "bench": DataSet("bench", {"M": 128, "N": 128, "iters": 8,
+                                   "cost_scale": 64}),
+        "tiny": DataSet("tiny", {"M": 48, "N": 32, "iters": 3}),
+    },
+    assemble_mp=assemble_mp,
+    check_arrays=["p", "u", "v"],
+    supports_sync_merge=False,   # blocked by procedure-call boundaries
+    supports_push=False,         # likewise (paper Section 6.2)
+    xhpf_ok=True,
+)

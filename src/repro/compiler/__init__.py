@@ -1,0 +1,23 @@
+"""Regular-section analysis and source-to-source transformation.
+
+Implements Section 4 of the paper on the mini-language IR:
+
+* :mod:`repro.compiler.rsd` — symbolic regular section descriptors with
+  union/containment over linear-expression bounds;
+* :mod:`repro.compiler.analysis` — access analysis: regions between
+  fetch points (sync statements, procedure-call boundaries), per-region
+  access summaries with {read}/{write}/{write, write-first} tags;
+* :mod:`repro.compiler.transform` — the Section 4.2 transformation:
+  insert ``Validate``/``Validate_w_sync``, replace barriers with ``Push``,
+  under a per-optimization :class:`~repro.compiler.transform.OptConfig`;
+* :mod:`repro.compiler.hpf` — the XHPF stand-in: data-parallel lowering
+  to message passing, refusing programs with indirect accesses.
+"""
+
+from repro.compiler.rsd import RSD, linexpr_to_expr
+from repro.compiler.analysis import (AccessSummary, RegionInfo,
+                                     analyze_program)
+from repro.compiler.transform import OptConfig, transform
+
+__all__ = ["RSD", "linexpr_to_expr", "AccessSummary", "RegionInfo",
+           "analyze_program", "OptConfig", "transform"]

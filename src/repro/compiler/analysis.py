@@ -1,0 +1,686 @@
+"""Access analysis (paper Section 4.1).
+
+The program is lowered to a small control-flow graph whose nodes are
+
+* **fetch points** — synchronization statements (barriers, lock
+  acquires/releases) and procedure-call boundaries (no interprocedural
+  analysis, as in the paper's implementation), plus a virtual program
+  entry; and
+* **access summaries** — loops that contain no synchronization are
+  collapsed: every array access inside becomes one RSD with the loop
+  variables expanded over their ranges.
+
+Loops that do contain synchronization contribute a back edge, so regions
+wrap around: in the paper's Jacobi, the region of ``Barrier(2)`` flows
+through the bottom of the iteration loop into the next iteration's first
+phase and ends at ``Barrier(1)``.
+
+For every fetch point the analysis produces per-(array, owner) summaries
+with a covering read RSD, an exactness-tracked write RSD, and the
+{read}/{write}/{write, write-first} tag of Section 4.1, plus the
+``F_prec``/``F_succ`` relations needed by the Push transformation rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import CompileError
+from repro.lang.expr import Expr, LinExpr, linearize
+from repro.lang.nodes import (Acquire, Assign, Barrier, If, Kernel, Local,
+                              Loop, ProcCall, Program, PushStmt, Release,
+                              Stmt, ValidateStmt)
+from repro.compiler.rsd import RSD
+
+
+# ----------------------------------------------------------------------
+# CFG nodes.
+# ----------------------------------------------------------------------
+
+@dataclass
+class _Access:
+    array: str
+    rsd: Optional[RSD]          # None => unknown section
+    write: bool
+    owner: Optional[Expr]
+    indirect: bool = False
+
+
+@dataclass
+class _Node:
+    kind: str                   # "fetch" | "access" | "nop"
+    stmt: Optional[Stmt] = None
+    accesses: List[_Access] = field(default_factory=list)
+    #: Successors with edge annotations: ``kills`` are symbols whose
+    #: value at the fetch point differs unpredictably from the value at
+    #: access time (locally reassigned names, loop variables on exit
+    #: edges); ``subst`` rewrites a loop variable by a known increment
+    #: (``k -> k + step`` on a back edge), keeping loop-carried sections
+    #: analyzable.
+    succs: List[tuple] = field(default_factory=list)
+    kills: frozenset = frozenset()
+
+    def link(self, node: "_Node", kills=frozenset(), subst=None) -> None:
+        """``subst`` is ``(var, repl_lin, repl_expr)`` or None."""
+        self.succs.append((node, frozenset(kills), subst))
+
+
+def _contains_sync(stmts) -> bool:
+    for s in stmts:
+        if isinstance(s, (Barrier, Acquire, Release, ProcCall)):
+            return True
+        if isinstance(s, Loop) and _contains_sync(s.body):
+            return True
+        if isinstance(s, If) and (_contains_sync(s.then)
+                                  or _contains_sync(s.orelse)):
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Summaries.
+# ----------------------------------------------------------------------
+
+@dataclass
+class AccessSummary:
+    """Merged accesses of one (array, owner) pair within one region.
+
+    Sections whose symbolic bounds cannot be unioned exactly are kept as
+    separate *parts* (several Validate sections, as the interface allows)
+    rather than being collapsed into an unknown.  Reads that are covered
+    by an earlier write part are dropped — the reaching-definition step
+    behind the paper's ``write-first`` tag.
+    """
+
+    array: str
+    owner: Optional[Expr]
+    #: Reads that survive covered-read elimination (hulls allowed).
+    read_parts: List[RSD] = field(default_factory=list)
+    #: Writes; unions are only taken when provably exact.
+    write_parts: List[RSD] = field(default_factory=list)
+    unknown: bool = False
+    indirect: bool = False
+
+    @property
+    def read(self) -> bool:
+        return bool(self.read_parts)
+
+    @property
+    def write(self) -> bool:
+        return bool(self.write_parts)
+
+    @property
+    def write_first(self) -> bool:
+        """Written without any surviving prior read (paper's tag)."""
+        return self.write and not self.read
+
+    @property
+    def tags(self) -> Set[str]:
+        out = set()
+        if self.read:
+            out.add("read")
+        if self.write:
+            out.add("write")
+        if self.write_first:
+            out.add("write-first")
+        return out
+
+    # Single-section views (None when there are several parts).
+
+    @property
+    def write_rsd(self) -> Optional[RSD]:
+        return self.write_parts[0] if len(self.write_parts) == 1 else None
+
+    @property
+    def read_rsd(self) -> Optional[RSD]:
+        return self.read_parts[0] if len(self.read_parts) == 1 else None
+
+    @property
+    def rsd(self) -> Optional[RSD]:
+        """Union of everything when exactly one covering RSD exists."""
+        parts = self.read_parts + self.write_parts
+        if not parts or self.unknown:
+            return None
+        out = parts[0]
+        for extra in parts[1:]:
+            out = out.union(extra)
+            if out is None:
+                return None
+        return out
+
+
+@dataclass
+class RegionInfo:
+    """Everything known about the region that starts at ``fetch``."""
+
+    fetch: Optional[Stmt]                  # None => program entry
+    summaries: Dict[Tuple[str, str], AccessSummary] = field(
+        default_factory=dict)
+    succ_fetches: List[Stmt] = field(default_factory=list)
+    #: The region can run off the end of the program without crossing
+    #: another synchronization: the barrier must stay (a Push provides no
+    #: global point at which the run-time restores full consistency).
+    reaches_end: bool = False
+
+    def summary_list(self) -> List[AccessSummary]:
+        return [self.summaries[k] for k in sorted(self.summaries)]
+
+
+@dataclass
+class AnalysisResult:
+    program: Program
+    regions: Dict[int, RegionInfo]         # id(fetch stmt) -> region
+    entry_region: RegionInfo
+    prec: Dict[int, List[Stmt]]            # id(fetch) -> preceding fetches
+    has_indirect: bool = False
+    has_locks: bool = False
+
+    def region_of(self, stmt: Stmt) -> RegionInfo:
+        return self.regions[id(stmt)]
+
+
+# ----------------------------------------------------------------------
+# Graph construction.
+# ----------------------------------------------------------------------
+
+class _Builder:
+    def __init__(self, program: Program, barriers_only: bool = False) -> None:
+        self.program = program
+        self.barriers_only = barriers_only
+        self.shared = {a.name for a in program.shared_arrays()}
+        self.has_indirect = False
+        self.has_locks = False
+        self.fetch_nodes: List[_Node] = []
+        #: Partition locals inlined into sections so that loop-carried
+        #: substitution can see through them: name -> (LinExpr, Expr).
+        self.partition_defs: Dict[str, Tuple[LinExpr, Expr]] = {}
+
+    def _register_local(self, s: Local) -> frozenset:
+        """Record a partition local's definition (inlined), or kill."""
+        if not s.partition:
+            return frozenset([s.name])
+        expr = self._inline_expr(s.expr)
+        lin = linearize(expr, set())
+        if lin is None:
+            return frozenset([s.name])
+        self.partition_defs[s.name] = (lin, expr)
+        return frozenset()
+
+    def _inline_expr(self, expr: Expr) -> Expr:
+        from repro.lang.expr import substitute_expr
+        for _ in range(8):
+            names = expr.free_syms() & set(self.partition_defs)
+            if not names:
+                break
+            for name in sorted(names):
+                expr = substitute_expr(expr, name,
+                                       self.partition_defs[name][1])
+        return expr
+
+    def _inline_rsd(self, rsd: Optional[RSD]) -> Optional[RSD]:
+        if rsd is None:
+            return None
+        for _ in range(8):
+            syms = set()
+            for lo, hi, _ in rsd.dims:
+                for lin in (lo, hi):
+                    for atom in lin.atoms():
+                        if isinstance(atom, str):
+                            syms.add(atom)
+                        else:
+                            syms.update(atom.free_syms())
+            names = syms & set(self.partition_defs)
+            if not names:
+                break
+            for name in sorted(names):
+                lin, expr = self.partition_defs[name]
+                rsd = rsd.substitute_sym(name, lin, expr)
+        return rsd
+
+    def _inline_owner(self, owner: Optional[Expr]) -> Optional[Expr]:
+        if owner is None:
+            return None
+        return self._inline_expr(owner)
+
+    # -- expression -> RSD ------------------------------------------------
+
+    def _subs_to_rsd(self, array: str, subs, loop_ctx) -> Optional[RSD]:
+        loop_vars = {v for v, _, _, _ in loop_ctx}
+        lins = []
+        for sub in subs:
+            lin = linearize(sub, loop_vars)
+            if lin is None:
+                return None
+            lins.append(lin)
+        rsd = RSD.point(array, tuple(lins))
+        return self._inline_rsd(self._expand(rsd, loop_ctx))
+
+    def _spec_to_rsd(self, spec, loop_ctx) -> Optional[RSD]:
+        loop_vars = {v for v, _, _, _ in loop_ctx}
+        dims = []
+        for lo, hi, step in spec.dims:
+            llo = linearize(lo, loop_vars)
+            lhi = linearize(hi, loop_vars)
+            if llo is None or lhi is None:
+                return None
+            dims.append((llo, lhi, step))
+        rsd = RSD(spec.array, tuple(dims))
+        return self._inline_rsd(self._expand(rsd, loop_ctx))
+
+    def _expand(self, rsd: RSD, loop_ctx) -> Optional[RSD]:
+        # Innermost loop first (loop_ctx is outermost-first).
+        for var, lo, hi, step in reversed(loop_ctx):
+            rsd = rsd.expand(var, lo, hi, step)
+            if rsd is None:
+                return None
+        return rsd
+
+    def _bound_lin(self, expr: Expr, loop_ctx) -> Optional[LinExpr]:
+        loop_vars = {v for v, _, _, _ in loop_ctx}
+        return linearize(expr, loop_vars)
+
+    # -- statement walk ----------------------------------------------------
+
+    def build(self) -> Tuple[_Node, _Node]:
+        entry = _Node("fetch", stmt=None)
+        self.fetch_nodes.append(entry)
+        head, tails = self._block(self.program.body, [])
+        entry.link(head)
+        end = _Node("end")
+        for t in tails:
+            t.link(end)
+        return entry, end
+
+    def _block(self, stmts, loop_ctx) -> Tuple[_Node, List[_Node]]:
+        head: Optional[_Node] = None
+        tails: List[_Node] = []
+        for s in stmts:
+            node_head, node_tails = self._stmt(s, loop_ctx)
+            if node_head is None:
+                continue
+            if head is None:
+                head = node_head
+            else:
+                for t in tails:
+                    t.link(node_head)
+            tails = node_tails
+        if head is None:
+            nop = _Node("nop")
+            return nop, [nop]
+        return head, tails
+
+    def _stmt(self, s: Stmt, loop_ctx):
+        if isinstance(s, (ValidateStmt, PushStmt)):
+            raise CompileError("program already contains run-time calls; "
+                               "transform must start from untransformed IR")
+        if isinstance(s, Local):
+            kills = self._register_local(s)
+            node = _Node("access", stmt=s, kills=kills)
+            node.accesses = self._expr_reads(s.expr, loop_ctx, None)
+            return node, [node]
+        if isinstance(s, Assign):
+            node = _Node("access", stmt=s)
+            node.accesses = self._assign_accesses(s, loop_ctx)
+            return node, [node]
+        if isinstance(s, Kernel):
+            node = _Node("access", stmt=s)
+            node.accesses = self._kernel_accesses(s, loop_ctx)
+            if s.indirect:
+                self.has_indirect = True
+            return node, [node]
+        if isinstance(s, (Acquire, Release)):
+            self.has_locks = True
+            if self.barriers_only:
+                # XHPF-mode analysis treats locks as plain statements;
+                # the lowering refuses lock-based programs anyway.
+                nop = _Node("nop", stmt=s)
+                return nop, [nop]
+            node = _Node("fetch", stmt=s)
+            self.fetch_nodes.append(node)
+            return node, [node]
+        if isinstance(s, Barrier):
+            node = _Node("fetch", stmt=s)
+            self.fetch_nodes.append(node)
+            return node, [node]
+        if isinstance(s, ProcCall):
+            if self.barriers_only:
+                return self._block(s.body, loop_ctx)
+            call = _Node("fetch", stmt=s)
+            self.fetch_nodes.append(call)
+            body_head, body_tails = self._block(s.body, loop_ctx)
+            call.link(body_head)
+            return call, body_tails
+        if isinstance(s, If):
+            if _contains_sync(s.then) or _contains_sync(s.orelse):
+                raise CompileError(
+                    "synchronization inside a conditional is unsupported")
+            node = _Node("access", stmt=s)
+            for br in (s.then, s.orelse):
+                for acc in self._branch_accesses(br, loop_ctx):
+                    node.accesses.append(acc)
+            return node, [node]
+        if isinstance(s, Loop):
+            return self._loop(s, loop_ctx)
+        raise CompileError(f"unsupported statement {type(s).__name__}")
+
+    def _loop(self, s: Loop, loop_ctx):
+        if not _contains_sync(s.body):
+            lo = self._bound_lin(s.lo, loop_ctx)
+            hi = self._bound_lin(s.hi, loop_ctx)
+            if lo is None or hi is None:
+                # Non-affine bounds: treat all inner accesses as unknown.
+                node = _Node("access", stmt=s)
+                node.accesses = [
+                    _Access(a.array, None, a.write, a.owner)
+                    for a in self._branch_accesses(s.body, loop_ctx)]
+                return node, [node]
+            ctx = loop_ctx + [(s.var, lo, hi, s.step)]
+            node = _Node("access", stmt=s)
+            node.accesses = self._collect_collapsed(s.body, ctx)
+            return node, [node]
+        # Loop with synchronization inside: build body with a back edge.
+        # Entering the loop binds var to its initial value; crossing the
+        # back edge advances it one step; the exit edge kills it.
+        from repro.lang.expr import LinExpr, Sym
+        body_head, body_tails = self._block(s.body, loop_ctx)
+        pre = _Node("nop")
+        lo_expr = self._inline_expr(s.lo)
+        lo_lin = linearize(lo_expr, {v for v, _, _, _ in loop_ctx})
+        if lo_lin is not None:
+            pre.link(body_head,
+                     subst=(s.var, lo_lin, lo_expr))
+        else:
+            pre.link(body_head, kills=frozenset([s.var]))
+        exit_node = _Node("nop")
+        back = (s.var, LinExpr.of({s.var: 1}, s.step), Sym(s.var) + s.step)
+        for t in body_tails:
+            t.link(body_head, subst=back)              # next iteration
+            t.link(exit_node, kills=frozenset([s.var]))
+        return pre, [exit_node]
+
+    def _collect_collapsed(self, stmts, loop_ctx) -> List[_Access]:
+        out: List[_Access] = []
+        inner_locals: Set[str] = set()
+        for s in stmts:
+            if isinstance(s, Assign):
+                out.extend(self._assign_accesses(s, loop_ctx))
+            elif isinstance(s, Kernel):
+                out.extend(self._kernel_accesses(s, loop_ctx))
+                if s.indirect:
+                    self.has_indirect = True
+            elif isinstance(s, Local):
+                kills = self._register_local(s)
+                inner_locals.update(kills)
+                out.extend(self._expr_reads(s.expr, loop_ctx, None))
+                continue
+            elif isinstance(s, If):
+                for br in (s.then, s.orelse):
+                    out.extend(self._branch_accesses(br, loop_ctx))
+            elif isinstance(s, Loop):
+                lo = self._bound_lin(s.lo, loop_ctx)
+                hi = self._bound_lin(s.hi, loop_ctx)
+                if lo is None or hi is None:
+                    out.extend(
+                        _Access(a.array, None, a.write, a.owner)
+                        for a in self._branch_accesses(s.body, loop_ctx))
+                else:
+                    ctx = loop_ctx + [(s.var, lo, hi, s.step)]
+                    out.extend(self._collect_collapsed(s.body, ctx))
+            else:
+                raise CompileError(
+                    f"unexpected {type(s).__name__} in sync-free loop")
+        if inner_locals:
+            out = [
+                _Access(a.array, None, a.write, a.owner, a.indirect)
+                if a.rsd is not None and _access_symbols(a) & inner_locals
+                else a
+                for a in out]
+        return out
+
+    def _branch_accesses(self, stmts, loop_ctx) -> List[_Access]:
+        """Accesses under a condition: collected but marked inexact."""
+        out = []
+        for acc in self._collect_collapsed(stmts, loop_ctx):
+            rsd = acc.rsd.inexact() if acc.rsd is not None else None
+            out.append(_Access(acc.array, rsd, acc.write, acc.owner,
+                               acc.indirect))
+        return out
+
+    def _assign_accesses(self, s: Assign, loop_ctx) -> List[_Access]:
+        out: List[_Access] = []
+        owner = self._inline_owner(s.owner)
+        # Reads happen before the write: the order matters for the
+        # reaching-definition (write-first) computation.
+        out.extend(self._expr_reads(s.rhs, loop_ctx, owner))
+        for sub in s.lhs.subs:
+            out.extend(self._expr_reads(sub, loop_ctx, owner))
+        if s.lhs.array in self.shared:
+            rsd = self._subs_to_rsd(s.lhs.array, s.lhs.subs, loop_ctx)
+            out.append(_Access(s.lhs.array, rsd, True, owner))
+        return out
+
+    def _expr_reads(self, expr: Expr, loop_ctx, owner) -> List[_Access]:
+        from repro.lang.expr import Bin, Num, Ref, Sym, Un
+        out: List[_Access] = []
+        if isinstance(expr, Ref):
+            if expr.array in self.shared:
+                rsd = self._subs_to_rsd(expr.array, expr.subs, loop_ctx)
+                indirect = rsd is None
+                if indirect:
+                    self.has_indirect = True
+                out.append(_Access(expr.array, rsd, False, owner, indirect))
+            for sub in expr.subs:
+                out.extend(self._expr_reads(sub, loop_ctx, owner))
+        elif isinstance(expr, Bin):
+            out.extend(self._expr_reads(expr.left, loop_ctx, owner))
+            out.extend(self._expr_reads(expr.right, loop_ctx, owner))
+        elif isinstance(expr, Un):
+            out.extend(self._expr_reads(expr.operand, loop_ctx, owner))
+        elif isinstance(expr, (Num, Sym)):
+            pass
+        return out
+
+    def _kernel_accesses(self, s: Kernel, loop_ctx) -> List[_Access]:
+        out: List[_Access] = []
+        owner = self._inline_owner(s.owner)
+        for spec in s.reads:
+            if spec.array in self.shared:
+                out.append(_Access(spec.array,
+                                   self._spec_to_rsd(spec, loop_ctx),
+                                   False, owner, s.indirect))
+        for spec in s.writes:
+            if spec.array in self.shared:
+                out.append(_Access(spec.array,
+                                   self._spec_to_rsd(spec, loop_ctx),
+                                   True, owner, s.indirect))
+        return out
+
+
+# ----------------------------------------------------------------------
+# Region collection.
+# ----------------------------------------------------------------------
+
+def _owner_key(owner: Optional[Expr]) -> str:
+    return repr(owner) if owner is not None else ""
+
+
+def _apply_substs(acc: _Access, substs) -> _Access:
+    """Rewrite an access for loop-carried reachability.
+
+    Each substitution is ``(var, repl_lin, repl_expr)``: the loop entry
+    binds the variable to its initial value, a back edge advances it by
+    one step.
+    """
+    from repro.lang.expr import substitute_expr
+    rsd = acc.rsd
+    owner = acc.owner
+    for var, repl_lin, repl_expr in substs:
+        if rsd is not None:
+            rsd = rsd.substitute_sym(var, repl_lin, repl_expr)
+        if owner is not None:
+            owner = substitute_expr(owner, var, repl_expr)
+    return _Access(acc.array, rsd, acc.write, owner, acc.indirect)
+
+
+def _collect_region(fetch_node: _Node) -> Tuple[List[_Access], List[_Node]]:
+    """Accesses reachable from ``fetch_node`` before the next fetch point.
+
+    Propagates two per-path annotations: *killed* symbols (value at the
+    fetch point unusable) and loop-variable *substitutions* (value known
+    to be one step further on a back edge).  Accesses depending on killed
+    symbols — or reachable with two conflicting substitutions — degrade
+    to unknown; substituted accesses are rewritten (``k -> k + step``).
+    """
+    accesses: List[_Access] = []
+    terminators: List[_Node] = []
+    reached_end = [False]
+    killed_at: Dict[int, frozenset] = {}
+    subst_at: Dict[int, Tuple[Tuple[str, int], ...]] = {}
+    conflicted: Set[int] = set()
+    frontier: List[Tuple[_Node, frozenset, Tuple[Tuple[str, int], ...]]] = [
+        (n, k, (s,) if s else ()) for n, k, s in fetch_node.succs]
+    order: List[_Node] = []
+    while frontier:
+        node, killed, substs = frontier.pop(0)
+        prev = killed_at.get(id(node))
+        first_visit = prev is None
+        if not first_visit:
+            if subst_at[id(node)] != substs:
+                conflicted.add(id(node))
+            if killed <= prev:
+                continue
+        killed_at[id(node)] = killed if first_visit else (prev | killed)
+        subst_at.setdefault(id(node), substs)
+        if node.kind == "fetch":
+            if first_visit:
+                terminators.append(node)
+            continue
+        if node.kind == "end":
+            reached_end[0] = True
+            continue
+        if first_visit:
+            order.append(node)
+        out_killed = killed_at[id(node)] | node.kills
+        for succ, edge_kills, edge_subst in node.succs:
+            nsubsts = substs + ((edge_subst,) if edge_subst else ())
+            if len(nsubsts) > 3:
+                continue   # too many loop crossings: out of scope
+            frontier.append((succ, out_killed | edge_kills, nsubsts))
+    for node in order:
+        killed = killed_at[id(node)]
+        substs = subst_at[id(node)]
+        bad = id(node) in conflicted
+        for acc in node.accesses:
+            if substs and acc.rsd is not None:
+                acc = _apply_substs(acc, substs)
+            if acc.rsd is not None and (bad or
+                                        (killed and
+                                         _access_symbols(acc) & killed)):
+                acc = _Access(acc.array, None, acc.write, acc.owner,
+                              acc.indirect)
+            accesses.append(acc)
+    return accesses, terminators, reached_end[0]
+
+
+def _access_symbols(acc: _Access) -> Set[str]:
+    syms: Set[str] = set()
+    if acc.rsd is not None:
+        for lo, hi, _ in acc.rsd.dims:
+            for lin in (lo, hi):
+                for atom in lin.atoms():
+                    if isinstance(atom, str):
+                        syms.add(atom)
+                    else:
+                        syms.update(atom.free_syms())
+    if acc.owner is not None:
+        syms.update(acc.owner.free_syms())
+    return syms
+
+
+_MAX_PARTS = 8
+
+
+def _add_part(parts: List[RSD], rsd: RSD, exact_only: bool) -> None:
+    """Coalesce ``rsd`` into ``parts``; keep separate when not unionable.
+
+    ``exact_only`` (write sections) refuses unions that lose exactness,
+    so that WRITE_ALL / Push decisions stay sound.
+    """
+    for i, existing in enumerate(parts):
+        if existing.contains(rsd):
+            return
+        u = existing.union(rsd)
+        if u is None:
+            continue
+        if exact_only and not u.exact and (existing.exact or rsd.exact):
+            continue
+        parts[i] = u
+        return
+    parts.append(rsd)
+
+
+def _summarize(accesses: List[_Access]) -> Dict[Tuple[str, str],
+                                                AccessSummary]:
+    summaries: Dict[Tuple[str, str], AccessSummary] = {}
+    for acc in accesses:
+        key = (acc.array, _owner_key(acc.owner))
+        summ = summaries.get(key)
+        if summ is None:
+            summ = AccessSummary(acc.array, acc.owner)
+            summaries[key] = summ
+        if acc.indirect:
+            summ.indirect = True
+        if acc.rsd is None:
+            summ.unknown = True
+            continue
+        if summ.unknown:
+            continue
+        if acc.write:
+            _add_part(summ.write_parts, acc.rsd, exact_only=True)
+        else:
+            # Reaching definitions: reads covered by an earlier exact
+            # write of the same region do not void write-first.
+            covered = any(w.exact and w.contains(acc.rsd)
+                          for w in summ.write_parts)
+            if not covered:
+                _add_part(summ.read_parts, acc.rsd, exact_only=False)
+        if (len(summ.read_parts) > _MAX_PARTS
+                or len(summ.write_parts) > _MAX_PARTS):
+            summ.unknown = True
+    return summaries
+
+
+def analyze_program(program: Program,
+                    barriers_only: bool = False) -> AnalysisResult:
+    """Run access analysis; returns per-fetch-point region summaries.
+
+    With ``barriers_only`` (the XHPF lowering's whole-program view),
+    regions span procedure calls and lock operations; only barriers
+    delimit them.
+    """
+    builder = _Builder(program, barriers_only=barriers_only)
+    builder.build()
+    regions: Dict[int, RegionInfo] = {}
+    prec: Dict[int, List[Stmt]] = {}
+    entry_region: Optional[RegionInfo] = None
+    for node in builder.fetch_nodes:
+        accesses, terminators, reaches_end = _collect_region(node)
+        info = RegionInfo(fetch=node.stmt)
+        info.reaches_end = reaches_end
+        info.summaries = _summarize(accesses)
+        info.succ_fetches = [t.stmt for t in terminators
+                             if t.stmt is not None]
+        if node.stmt is None:
+            entry_region = info
+        else:
+            regions[id(node.stmt)] = info
+        for t in terminators:
+            if t.stmt is not None:
+                marker = node.stmt if node.stmt is not None else None
+                prec.setdefault(id(t.stmt), []).append(marker)
+    assert entry_region is not None
+    return AnalysisResult(program=program, regions=regions,
+                          entry_region=entry_region, prec=prec,
+                          has_indirect=builder.has_indirect,
+                          has_locks=builder.has_locks)

@@ -1,0 +1,223 @@
+"""Symbolic regular section descriptors (RSDs).
+
+An RSD describes an array region with per-dimension bounds that are
+linear expressions over *atoms* (symbols such as ``begin``/``end``/``p``,
+or opaque loop-invariant subtrees) plus integer strides — the
+representation of Havlak & Kennedy's regular section analysis that the
+paper builds on.
+
+Key operations and their precision contracts:
+
+* :meth:`RSD.union` — returns a covering RSD.  ``exact`` stays True only
+  when the result is provably the precise union (needed for write
+  sections feeding WRITE_ALL and Push); read sections may legitimately
+  become over-approximations (``exact=False``), which is still a safe
+  superset for prefetching and pushing.
+* :meth:`RSD.contains` — conservative symbolic containment (False when
+  unprovable), used for the ``write-first`` reaching-definition check.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.lang.expr import Expr, LinExpr, Num, Sym
+
+#: One symbolic dimension: (lo, hi, step); bounds inclusive.
+SymDim = Tuple[LinExpr, LinExpr, int]
+
+
+def linexpr_to_expr(lin: LinExpr) -> Expr:
+    """Rebuild an AST expression from a linear expression."""
+    out: Optional[Expr] = None
+    for atom, coef in lin.terms:
+        term: Expr = Sym(atom) if isinstance(atom, str) else atom
+        if coef != 1:
+            term = Num(coef) * term
+        out = term if out is None else out + term
+    if out is None:
+        return Num(lin.const)
+    if lin.const:
+        out = out + Num(lin.const)
+    return out
+
+
+@dataclass(frozen=True)
+class RSD:
+    """A symbolic regular section of ``array``."""
+
+    array: str
+    dims: Tuple[SymDim, ...]
+    exact: bool = True
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def point(cls, array: str, subs: Tuple[LinExpr, ...]) -> "RSD":
+        return cls(array, tuple((s, s, 1) for s in subs))
+
+    def inexact(self) -> "RSD":
+        return RSD(self.array, self.dims, exact=False)
+
+    # ------------------------------------------------------------------
+    # Loop expansion: substitute a loop variable by its range.
+    # ------------------------------------------------------------------
+
+    def expand(self, var: str, lo: LinExpr, hi: LinExpr,
+               step: int) -> Optional["RSD"]:
+        """Replace occurrences of loop variable ``var`` by its range.
+
+        Returns ``None`` when the resulting region is not representable
+        as an RSD (the access becomes *unknown*).
+        """
+        dims = []
+        exact = self.exact
+        for (dlo, dhi, dstep) in self.dims:
+            clo, chi = dlo.coef(var), dhi.coef(var)
+            if clo == 0 and chi == 0:
+                dims.append((dlo, dhi, dstep))
+                continue
+            if clo != chi:
+                return None
+            c = clo
+            if c < 0:
+                new_lo = dlo.substitute(var, hi)
+                new_hi = dhi.substitute(var, lo)
+                c = -c
+            else:
+                new_lo = dlo.substitute(var, lo)
+                new_hi = dhi.substitute(var, hi)
+            if dlo.diff_const(dhi) == 0:
+                # Point in var: becomes a strided range.
+                new_step = c * step
+            else:
+                # A per-iteration range swept by the loop: exact only when
+                # consecutive iterations tile contiguously.
+                width = dhi.diff_const(dlo)
+                if (width is not None and dstep == 1
+                        and c * step <= width + 1):
+                    new_step = 1
+                else:
+                    new_step = math.gcd(dstep, c * step)
+                    exact = False
+            dims.append((new_lo, new_hi, new_step))
+        return RSD(self.array, tuple(dims), exact=exact)
+
+    # ------------------------------------------------------------------
+    # Union.
+    # ------------------------------------------------------------------
+
+    def union(self, other: "RSD") -> Optional["RSD"]:
+        """Covering RSD of both, or ``None`` when incomparable (unknown).
+
+        Exactness is preserved only for the provable single-dimension
+        extension case (under the usual non-degenerate-range assumption);
+        otherwise the result is a hull marked inexact.
+        """
+        if self.array != other.array or len(self.dims) != len(other.dims):
+            return None
+        diffs = []
+        for (l1, h1, s1), (l2, h2, s2) in zip(self.dims, other.dims):
+            dl = l2.diff_const(l1)
+            dh = h2.diff_const(h1)
+            if dl is None or dh is None:
+                return None     # incomparable bounds: unknown section
+            diffs.append((dl, dh))
+        differing = [i for i, (dl, dh) in enumerate(diffs)
+                     if dl != 0 or dh != 0
+                     or self.dims[i][2] != other.dims[i][2]]
+        exact = self.exact and other.exact
+        dims = list(self.dims)
+        if not differing:
+            return RSD(self.array, tuple(dims), exact=exact)
+        for i in differing:
+            l1, h1, s1 = self.dims[i]
+            l2, h2, s2 = other.dims[i]
+            dl, dh = diffs[i]
+            lo = l1 if dl >= 0 else l2
+            hi = h2 if dh >= 0 else h1
+            step = math.gcd(s1, s2)
+            if dl % step != 0:
+                step = math.gcd(step, abs(dl)) or 1
+            if not (len(differing) == 1 and s1 == s2 == step
+                    and dl % step == 0 and dh % step == 0):
+                exact = False
+            dims[i] = (lo, hi, step)
+        return RSD(self.array, tuple(dims), exact=exact)
+
+    # ------------------------------------------------------------------
+    # Containment (conservative).
+    # ------------------------------------------------------------------
+
+    def contains(self, other: "RSD") -> bool:
+        if self.array != other.array or len(self.dims) != len(other.dims):
+            return False
+        for (l1, h1, s1), (l2, h2, s2) in zip(self.dims, other.dims):
+            dl = l2.diff_const(l1)
+            dh = h1.diff_const(h2)
+            if dl is None or dh is None or dl < 0 or dh < 0:
+                return False
+            if dl % s1 != 0:
+                return False
+            if s2 % s1 != 0 and l2.diff_const(h2) != 0:
+                return False
+        return True
+
+    def substitute_sym(self, name: str, repl_lin: LinExpr,
+                       repl_expr) -> "RSD":
+        """Replace symbol ``name`` in every bound (used for loop-carried
+        regions: on a back edge, ``k`` becomes ``k + step``)."""
+        from repro.lang.expr import substitute_lin
+        dims = tuple(
+            (substitute_lin(lo, name, repl_lin, repl_expr),
+             substitute_lin(hi, name, repl_lin, repl_expr),
+             step)
+            for lo, hi, step in self.dims)
+        return RSD(self.array, dims, exact=self.exact)
+
+    def may_overlap(self, other: "RSD") -> bool:
+        """False only when the sections are *provably* disjoint."""
+        if self.array != other.array or len(self.dims) != len(other.dims):
+            return False
+        for (l1, h1, _), (l2, h2, _) in zip(self.dims, other.dims):
+            gap1 = l2.diff_const(h1)
+            gap2 = l1.diff_const(h2)
+            if (gap1 is not None and gap1 > 0) or \
+               (gap2 is not None and gap2 > 0):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Shape queries (need the concrete array shape).
+    # ------------------------------------------------------------------
+
+    def is_contiguous(self, shape: Tuple[int, ...]) -> bool:
+        """Maps to one contiguous address range (Fortran order)?
+
+        Leading dimensions must fully cover the array, then one step-1
+        range dimension, then point dimensions.
+        """
+        state = "full"
+        for (lo, hi, step), extent in zip(self.dims, shape):
+            is_full = (lo.is_const and lo.const == 0 and hi.is_const
+                       and hi.const == extent - 1 and step == 1)
+            is_point = lo.diff_const(hi) == 0
+            if state == "full":
+                if is_full:
+                    continue
+                if step == 1:
+                    state = "points"
+                    continue
+                return False
+            if not is_point:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        dims = ", ".join(
+            f"{lo!r}:{hi!r}" + (f":{step}" if step != 1 else "")
+            for lo, hi, step in self.dims)
+        mark = "" if self.exact else "~"
+        return f"{mark}{self.array}[{dims}]"

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine detected an inconsistency (e.g. deadlock)."""
+
+
+class SimulationDeadlock(SimulationError):
+    """All processes are blocked and no events remain."""
+
+
+class ProtocolError(ReproError):
+    """The DSM protocol reached an invalid state."""
+
+
+class LayoutError(ReproError):
+    """Invalid shared-memory layout request (overlap, overflow, bad shape)."""
+
+
+class SectionError(ReproError):
+    """Invalid regular-section operation."""
+
+
+class CompileError(ReproError):
+    """The compiler could not process the input program."""
+
+
+class HpfError(CompileError):
+    """The data-parallel (XHPF-like) lowering cannot handle the program."""
+
+
+class InterpError(ReproError):
+    """The IR interpreter encountered an invalid program at run time."""

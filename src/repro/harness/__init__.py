@@ -1,0 +1,10 @@
+"""Experiment harness: run modes, experiment drivers, report tables."""
+
+from repro.harness.runner import (run_dsm, run_mp, run_seq, run_xhpf,
+                                  layout_for)
+from repro.harness.modes import Mode, OPT_LEVELS, applicable_levels
+from repro.harness.verify import VerifyReport, verify_all, verify_app
+
+__all__ = ["run_dsm", "run_mp", "run_seq", "run_xhpf", "layout_for",
+           "Mode", "OPT_LEVELS", "applicable_levels",
+           "VerifyReport", "verify_all", "verify_app"]

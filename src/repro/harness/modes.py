@@ -1,0 +1,52 @@
+"""Run modes and Figure 6's optimization levels."""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+from repro.compiler.transform import OptConfig
+
+
+class Mode(enum.Enum):
+    """The four systems compared in Figure 5."""
+
+    TMK = "Tmk"              # base TreadMarks
+    OPT_TMK = "Opt-Tmk"      # best compiler-optimized TreadMarks
+    XHPF = "XHPF"            # compiler-generated message passing
+    PVME = "PVMe"            # hand-coded message passing
+
+
+#: Figure 6's cumulative optimization levels, in bar order.
+#: ``None`` means the untransformed program on the base run-time.
+OPT_LEVELS: Dict[str, Optional[OptConfig]] = {
+    "base": None,
+    "aggr": OptConfig(aggregation=True, consistency_elimination=False,
+                      sync_data_merge=False, push=False, name="aggr"),
+    "aggr+cons": OptConfig(aggregation=True, consistency_elimination=True,
+                           sync_data_merge=False, push=False,
+                           name="aggr+cons"),
+    "merge": OptConfig(aggregation=True, consistency_elimination=True,
+                       sync_data_merge=True, push=False, name="merge"),
+    "push": OptConfig(aggregation=True, consistency_elimination=True,
+                      sync_data_merge=False, push=True, name="push"),
+}
+
+
+def applicable_levels(app) -> Dict[str, Optional[OptConfig]]:
+    """The levels the paper reports for this app (Figure 6's n/a bars)."""
+    out: Dict[str, Optional[OptConfig]] = {}
+    for name, opt in OPT_LEVELS.items():
+        if name == "merge" and not app.supports_sync_merge:
+            continue
+        if name == "push" and not app.supports_push:
+            continue
+        out[name] = opt
+    return out
+
+
+def sync_fetch_variant(opt: OptConfig) -> OptConfig:
+    """The synchronous-fetch twin of a level (Figure 7)."""
+    from dataclasses import replace
+    return replace(opt, asynchronous=False,
+                   name=opt.name + "+syncfetch")

@@ -1,0 +1,101 @@
+"""Run one application in one mode; collect time, stats and final state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.compiler.transform import OptConfig, transform
+from repro.interp.interp import Interpreter
+from repro.interp.runtime import DsmRuntime, SeqRuntime
+from repro.lang.nodes import Program
+from repro.machine.config import MachineConfig
+from repro.memory.layout import SharedLayout
+from repro.mp.system import MpRunResult, MpSystem
+from repro.tm.system import RunResult, TmSystem
+
+
+def layout_for(program: Program, page_size: int = 4096) -> SharedLayout:
+    layout = SharedLayout(page_size=page_size)
+    for decl in program.shared_arrays():
+        layout.add_array(decl.name, decl.shape, decl.dtype)
+    return layout
+
+
+@dataclass
+class SeqResult:
+    time: float                      # simulated microseconds
+    arrays: Dict[str, np.ndarray]
+
+
+def run_seq(program: Program) -> SeqResult:
+    """Uniprocessor run: compute cost only (Table 1 baseline)."""
+    rt = SeqRuntime(program)
+    Interpreter(program, rt).run()
+    arrays = {d.name: rt.accessor(d.name).whole().copy()
+              for d in program.shared_arrays()}
+    return SeqResult(time=rt.time, arrays=arrays)
+
+
+@dataclass
+class DsmResult:
+    run: RunResult
+    arrays: Dict[str, np.ndarray]
+    program: Program
+
+    @property
+    def time(self) -> float:
+        return self.run.time
+
+
+def run_dsm(program: Program, nprocs: int,
+            opt: Optional[OptConfig] = None,
+            config: Optional[MachineConfig] = None,
+            page_size: int = 4096,
+            snapshot: bool = True,
+            gc_threshold: Optional[int] = None,
+            eager_diffing: bool = False) -> DsmResult:
+    """Run on the (optionally compiler-optimized) TreadMarks DSM."""
+    prog = transform(program, opt) if opt is not None else program
+    layout = layout_for(prog, page_size=page_size)
+    system = TmSystem(nprocs=nprocs, layout=layout, config=config,
+                      gc_threshold=gc_threshold,
+                      eager_diffing=eager_diffing)
+
+    def main(node):
+        Interpreter(prog, DsmRuntime(node, prog)).run()
+
+    result = system.run(main)
+    arrays = system.snapshot() if snapshot else {}
+    return DsmResult(run=result, arrays=arrays, program=prog)
+
+
+@dataclass
+class MpResult:
+    run: MpRunResult
+    arrays: Dict[str, np.ndarray]
+
+    @property
+    def time(self) -> float:
+        return self.run.time
+
+
+def run_mp(app, params: Dict[str, int], nprocs: int,
+           config: Optional[MachineConfig] = None) -> MpResult:
+    """Run the hand-coded message-passing (PVMe) version."""
+    system = MpSystem(nprocs=nprocs, config=config)
+    result = system.run(lambda comm: app.mp_main(comm, dict(params)))
+    arrays = {}
+    if app.assemble_mp is not None:
+        arrays = app.assemble_mp(result.returns, dict(params))
+    return MpResult(run=result, arrays=arrays)
+
+
+def run_xhpf(program: Program, nprocs: int,
+             config: Optional[MachineConfig] = None,
+             page_size: int = 4096):
+    """Run the XHPF-like compiler-generated message-passing version."""
+    from repro.compiler.hpf import lower_xhpf, XhpfResult
+    return lower_xhpf(program, nprocs, config=config)

@@ -1,0 +1,16 @@
+"""Executor for mini-language programs on pluggable runtimes.
+
+* :class:`~repro.interp.runtime.DsmRuntime` — runs on a TreadMarks node
+  inside the simulated cluster (the shared-memory versions).
+* :class:`~repro.interp.runtime.SeqRuntime` — single-processor run with a
+  pure compute-cost clock (Table 1's uniprocessor times, and the
+  correctness reference).
+* :class:`~repro.interp.xhpf_runtime.XhpfRuntime` — replicated arrays with
+  compiler-derived message exchanges instead of barriers (the XHPF
+  stand-in), see :mod:`repro.compiler.hpf`.
+"""
+
+from repro.interp.interp import Interpreter
+from repro.interp.runtime import DsmRuntime, LocalAccessor, SeqRuntime
+
+__all__ = ["Interpreter", "DsmRuntime", "LocalAccessor", "SeqRuntime"]

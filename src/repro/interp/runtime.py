@@ -1,0 +1,160 @@
+"""Runtime facades the interpreter executes against."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import InterpError
+from repro.lang.nodes import Program
+from repro.memory.section import Section
+from repro.rt.access import AccessType
+
+
+class LocalAccessor:
+    """Plain numpy backing for private arrays (and all arrays in SeqRuntime)."""
+
+    def __init__(self, arr: np.ndarray) -> None:
+        self.arr = arr
+
+    def _idx(self, section: Section):
+        return tuple(slice(lo, hi + 1, step) for lo, hi, step in section.dims)
+
+    def read(self, section: Section) -> np.ndarray:
+        return self.arr[self._idx(section)]
+
+    def write(self, section: Section, values) -> None:
+        self.arr[self._idx(section)] = values
+
+    def write_view(self, section: Section) -> np.ndarray:
+        return self.arr[self._idx(section)]
+
+    def whole(self) -> np.ndarray:
+        return self.arr
+
+
+def _alloc(decl) -> np.ndarray:
+    return np.zeros(decl.shape, dtype=decl.dtype, order="F")
+
+
+class BaseRuntime:
+    """Common plumbing: private arrays, accessor lookup."""
+
+    def __init__(self, program: Program, pid: int, nprocs: int) -> None:
+        self.program = program
+        self.pid = pid
+        self.nprocs = nprocs
+        self._privates: Dict[str, LocalAccessor] = {
+            d.name: LocalAccessor(_alloc(d))
+            for d in program.private_arrays()}
+        self._shared_cache: Dict[str, object] = {}
+
+    def accessor(self, name: str):
+        acc = self._privates.get(name)
+        if acc is not None:
+            return acc
+        acc = self._shared_cache.get(name)
+        if acc is None:
+            acc = self._make_shared(name)
+            self._shared_cache[name] = acc
+        return acc
+
+    def _make_shared(self, name: str):
+        raise NotImplementedError
+
+    # Overridden per runtime:
+    def charge(self, us: float) -> None:
+        raise NotImplementedError
+
+    def barrier(self) -> None:
+        raise NotImplementedError
+
+    def acquire(self, lid: int) -> None:
+        raise NotImplementedError
+
+    def release(self, lid: int) -> None:
+        raise NotImplementedError
+
+    def validate(self, sections: Sequence[Section], access: AccessType,
+                 w_sync: bool, asynchronous: bool,
+                 merge_page_limit: Optional[int] = None) -> None:
+        raise NotImplementedError
+
+    def push(self, reads: List[List[Section]],
+             writes: List[List[Section]],
+             asynchronous: bool = False) -> None:
+        raise NotImplementedError
+
+
+class SeqRuntime(BaseRuntime):
+    """Uniprocessor reference: all arrays local, clock = compute cost.
+
+    Matches the paper's uniprocessor baseline, "obtained by removing all
+    synchronization from the TreadMarks programs".
+    """
+
+    def __init__(self, program: Program) -> None:
+        super().__init__(program, pid=0, nprocs=1)
+        for d in program.shared_arrays():
+            self._shared_cache[d.name] = LocalAccessor(_alloc(d))
+        self.time = 0.0
+
+    def _make_shared(self, name: str):
+        raise InterpError(f"unknown array {name!r}")
+
+    def charge(self, us: float) -> None:
+        self.time += us
+
+    def barrier(self) -> None:
+        pass
+
+    def acquire(self, lid: int) -> None:
+        pass
+
+    def release(self, lid: int) -> None:
+        pass
+
+    def validate(self, sections, access, w_sync, asynchronous,
+                 merge_page_limit=None) -> None:
+        pass
+
+    def push(self, reads, writes, asynchronous: bool = False) -> None:
+        pass
+
+
+class DsmRuntime(BaseRuntime):
+    """Interpreter runtime backed by a TreadMarks node."""
+
+    def __init__(self, node, program: Program) -> None:
+        super().__init__(program, pid=node.pid, nprocs=node.nprocs)
+        self.node = node
+
+    def _make_shared(self, name: str):
+        return self.node.array(name)
+
+    def charge(self, us: float) -> None:
+        if us > 0:
+            self.node.stats.t_compute += us
+            self.node.proc.advance(us)
+
+    def barrier(self) -> None:
+        self.node.barrier()
+
+    def acquire(self, lid: int) -> None:
+        self.node.lock_acquire(lid)
+
+    def release(self, lid: int) -> None:
+        self.node.lock_release(lid)
+
+    def validate(self, sections, access, w_sync, asynchronous,
+                 merge_page_limit=None) -> None:
+        if w_sync:
+            self.node.validate_w_sync(sections, access,
+                                      asynchronous=asynchronous,
+                                      page_limit=merge_page_limit)
+        else:
+            self.node.validate(sections, access, asynchronous=asynchronous)
+
+    def push(self, reads, writes, asynchronous: bool = False) -> None:
+        self.node.push(reads, writes, asynchronous=asynchronous)

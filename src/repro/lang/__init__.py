@@ -1,0 +1,29 @@
+"""Explicitly parallel, Fortran-shaped intermediate representation.
+
+The paper's compiler consumes explicitly parallel Fortran programs written
+for the lazy-release-consistency model.  This package is our equivalent
+source language: an AST of loops, affine array assignments, kernels with
+declared section summaries, barriers and locks, plus symbolic expressions
+that regular section analysis can reason about.
+
+Programs are built with the helpers in :mod:`repro.lang.build`, analyzed
+and transformed by :mod:`repro.compiler`, and executed by
+:mod:`repro.interp` on a DSM-backed, sequential, or message-passing
+runtime.
+"""
+
+from repro.lang.expr import (Bin, Expr, LinExpr, Num, Ref, Sym, Un,
+                             as_expr, linearize)
+from repro.lang.nodes import (Acquire, ArrayDecl, Assign, Barrier, If,
+                              Kernel, Local, Loop, ProcCall, Program,
+                              PushStmt, Release, SectionSpec, Stmt,
+                              ValidateStmt)
+from repro.lang import build
+
+__all__ = [
+    "Bin", "Expr", "LinExpr", "Num", "Ref", "Sym", "Un", "as_expr",
+    "linearize",
+    "Acquire", "ArrayDecl", "Assign", "Barrier", "If", "Kernel", "Local",
+    "Loop", "ProcCall", "Program", "PushStmt", "Release", "SectionSpec",
+    "Stmt", "ValidateStmt", "build",
+]

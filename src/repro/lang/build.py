@@ -1,0 +1,114 @@
+"""Convenience constructors for building IR programs.
+
+Example (the paper's Figure 1 Jacobi, 0-based)::
+
+    from repro.lang import build as B
+
+    i, j, k = B.syms("i j k")
+    b = B.array_ref("b")
+    a = B.array_ref("a")
+    body = [
+        B.local("begin", ..., partition=True),
+        B.loop(k, 0, B.sym("iters") - 1, [
+            B.loop(j, B.sym("begin"), B.sym("end"), [
+                B.loop(i, 1, B.sym("M") - 2, [
+                    B.assign(a(i, j), 0.25 * (b(i-1, j) + b(i+1, j)
+                                              + b(i, j-1) + b(i, j+1))),
+                ]),
+            ]),
+            B.barrier("B1"),
+            ...
+        ]),
+    ]
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.lang.expr import Expr, Num, Ref, Sym, as_expr
+from repro.lang.nodes import (Acquire, Assign, Barrier, If, Kernel, Local,
+                              Loop, ProcCall, Release, SectionSpec)
+
+
+def sym(name: str) -> Sym:
+    return Sym(name)
+
+
+def syms(names: str) -> List[Sym]:
+    return [Sym(n) for n in names.split()]
+
+
+def num(value) -> Num:
+    return Num(value)
+
+
+def emin(a, b) -> Expr:
+    """Element/scalar minimum expression."""
+    from repro.lang.expr import Bin
+    return Bin("min", as_expr(a), as_expr(b))
+
+
+def emax(a, b) -> Expr:
+    """Element/scalar maximum expression."""
+    from repro.lang.expr import Bin
+    return Bin("max", as_expr(a), as_expr(b))
+
+
+class ArrayRefBuilder:
+    """Callable handle so that ``b(i, j)`` builds a :class:`Ref`."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __call__(self, *subs) -> Ref:
+        return Ref(self.name, tuple(as_expr(s) for s in subs))
+
+
+def array_ref(name: str) -> ArrayRefBuilder:
+    return ArrayRefBuilder(name)
+
+
+def assign(lhs: Ref, rhs, cost: float = 0.05,
+           owner: Optional[Expr] = None) -> Assign:
+    return Assign(lhs, as_expr(rhs), cost=cost, owner=owner)
+
+
+def loop(var, lo, hi, body: Sequence, step: int = 1) -> Loop:
+    name = var.name if isinstance(var, Sym) else str(var)
+    return Loop(name, as_expr(lo), as_expr(hi), list(body), step=step)
+
+
+def barrier(label: Optional[str] = None) -> Barrier:
+    return Barrier(label)
+
+
+def acquire(lock) -> Acquire:
+    return Acquire(as_expr(lock))
+
+
+def release(lock) -> Release:
+    return Release(as_expr(lock))
+
+
+def local(name: str, expr, partition: bool = False) -> Local:
+    return Local(name, as_expr(expr), partition=partition)
+
+
+def when(cond, then: Sequence, orelse: Sequence = ()) -> If:
+    return If(as_expr(cond), list(then), list(orelse))
+
+
+def proc(name: str, body: Sequence) -> ProcCall:
+    return ProcCall(name, list(body))
+
+
+def kernel(name: str, reads: Sequence[SectionSpec],
+           writes: Sequence[SectionSpec], fn, cost=0,
+           owner: Optional[Expr] = None, indirect: bool = False) -> Kernel:
+    return Kernel(name, list(reads), list(writes), fn, cost=as_expr(cost),
+                  owner=owner, indirect=indirect)
+
+
+def spec(array: str, *dims) -> SectionSpec:
+    return SectionSpec.of(array, *dims)

@@ -1,0 +1,340 @@
+"""Symbolic expressions and linearization for section analysis.
+
+Expressions are immutable trees built from :class:`Num`, :class:`Sym`,
+:class:`Ref` (array element), :class:`Bin` and :class:`Un`.  Operator
+overloading makes program construction read naturally::
+
+    i, j = Sym("i"), Sym("j")
+    rhs = 0.25 * (b(i - 1, j) + b(i + 1, j) + b(i, j - 1) + b(i, j + 1))
+
+For analysis, :func:`linearize` rewrites an expression as a
+:class:`LinExpr` — an integer-linear combination of *atoms* plus a
+constant.  Atoms are symbols or opaque (non-affine) subtrees that contain
+no loop variables; if a loop variable is trapped inside a non-affine
+subtree (e.g. an indirect subscript ``key[i]``), linearization fails and
+the enclosing access is *unknown*, exactly the situation that defeats the
+paper's XHPF compiler on IS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple, Union
+
+
+class Expr:
+    """Base class for symbolic expressions (immutable)."""
+
+    def __add__(self, other):
+        return Bin("+", self, as_expr(other))
+
+    def __radd__(self, other):
+        return Bin("+", as_expr(other), self)
+
+    def __sub__(self, other):
+        return Bin("-", self, as_expr(other))
+
+    def __rsub__(self, other):
+        return Bin("-", as_expr(other), self)
+
+    def __mul__(self, other):
+        return Bin("*", self, as_expr(other))
+
+    def __rmul__(self, other):
+        return Bin("*", as_expr(other), self)
+
+    def __truediv__(self, other):
+        return Bin("/", self, as_expr(other))
+
+    def __rtruediv__(self, other):
+        return Bin("/", as_expr(other), self)
+
+    def __floordiv__(self, other):
+        return Bin("//", self, as_expr(other))
+
+    def __mod__(self, other):
+        return Bin("%", self, as_expr(other))
+
+    def __neg__(self):
+        return Un("neg", self)
+
+    # Comparisons build condition expressions (used by If).
+    def eq(self, other):
+        return Bin("==", self, as_expr(other))
+
+    def ne(self, other):
+        return Bin("!=", self, as_expr(other))
+
+    def lt(self, other):
+        return Bin("<", self, as_expr(other))
+
+    def le(self, other):
+        return Bin("<=", self, as_expr(other))
+
+    def gt(self, other):
+        return Bin(">", self, as_expr(other))
+
+    def ge(self, other):
+        return Bin(">=", self, as_expr(other))
+
+    def free_syms(self) -> Set[str]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    value: Union[int, float]
+
+    def free_syms(self) -> Set[str]:
+        return set()
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Sym(Expr):
+    name: str
+
+    def free_syms(self) -> Set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Ref(Expr):
+    """Array element reference ``array(sub0, sub1, ...)`` (0-based)."""
+
+    array: str
+    subs: Tuple[Expr, ...]
+
+    def free_syms(self) -> Set[str]:
+        out: Set[str] = set()
+        for s in self.subs:
+            out |= s.free_syms()
+        return out
+
+    def __repr__(self) -> str:
+        return f"{self.array}({', '.join(map(repr, self.subs))})"
+
+
+@dataclass(frozen=True)
+class Bin(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def free_syms(self) -> Set[str]:
+        return self.left.free_syms() | self.right.free_syms()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Un(Expr):
+    op: str
+    operand: Expr
+
+    def free_syms(self) -> Set[str]:
+        return self.operand.free_syms()
+
+    def __repr__(self) -> str:
+        return f"{self.op}({self.operand!r})"
+
+
+def as_expr(x) -> Expr:
+    if isinstance(x, Expr):
+        return x
+    if isinstance(x, (int, float)):
+        return Num(x)
+    raise TypeError(f"cannot convert {x!r} to Expr")
+
+
+# ----------------------------------------------------------------------
+# Linear expressions over atoms.
+# ----------------------------------------------------------------------
+
+Atom = Union[str, Expr]   # symbol name, or opaque loop-var-free subtree
+
+
+@dataclass(frozen=True)
+class LinExpr:
+    """Integer-linear combination of atoms plus an integer constant."""
+
+    terms: Tuple[Tuple[Atom, int], ...]   # sorted, coefficient != 0
+    const: int = 0
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def of(cls, mapping: Dict[Atom, int], const: int = 0) -> "LinExpr":
+        terms = tuple(sorted(
+            ((a, c) for a, c in mapping.items() if c != 0),
+            key=lambda t: repr(t[0])))
+        return cls(terms, const)
+
+    @classmethod
+    def constant(cls, value: int) -> "LinExpr":
+        return cls((), value)
+
+    @classmethod
+    def atom(cls, a: Atom, coef: int = 1) -> "LinExpr":
+        return cls.of({a: coef})
+
+    # -- algebra ----------------------------------------------------------
+
+    def _as_dict(self) -> Dict[Atom, int]:
+        return dict(self.terms)
+
+    def add(self, other: "LinExpr") -> "LinExpr":
+        d = self._as_dict()
+        for a, c in other.terms:
+            d[a] = d.get(a, 0) + c
+        return LinExpr.of(d, self.const + other.const)
+
+    def sub(self, other: "LinExpr") -> "LinExpr":
+        return self.add(other.scale(-1))
+
+    def scale(self, k: int) -> "LinExpr":
+        return LinExpr.of({a: c * k for a, c in self.terms}, self.const * k)
+
+    def shift(self, k: int) -> "LinExpr":
+        return LinExpr(self.terms, self.const + k)
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def is_const(self) -> bool:
+        return not self.terms
+
+    def coef(self, atom: Atom) -> int:
+        for a, c in self.terms:
+            if a == atom:
+                return c
+        return 0
+
+    def without(self, atom: Atom) -> "LinExpr":
+        return LinExpr(tuple(t for t in self.terms if t[0] != atom),
+                       self.const)
+
+    def diff_const(self, other: "LinExpr") -> Optional[int]:
+        """``self - other`` when it is a plain integer, else ``None``."""
+        d = self.sub(other)
+        return d.const if d.is_const else None
+
+    def atoms(self) -> Tuple[Atom, ...]:
+        return tuple(a for a, _ in self.terms)
+
+    def substitute(self, atom: Atom, repl: "LinExpr") -> "LinExpr":
+        c = self.coef(atom)
+        if c == 0:
+            return self
+        return self.without(atom).add(repl.scale(c))
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(self, env: Dict[str, object],
+                 atom_eval=None) -> int:
+        """Numeric value given bindings for symbols (and opaque atoms)."""
+        total = self.const
+        for a, c in self.terms:
+            if isinstance(a, str):
+                total += c * int(env[a])
+            else:
+                if atom_eval is None:
+                    raise KeyError(f"no evaluator for opaque atom {a!r}")
+                total += c * int(atom_eval(a, env))
+        return total
+
+    def __repr__(self) -> str:
+        parts = []
+        for a, c in self.terms:
+            name = a if isinstance(a, str) else f"<{a!r}>"
+            parts.append(f"{c}*{name}" if c != 1 else str(name))
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+def linearize(expr: Expr, loop_vars: Set[str]) -> Optional[LinExpr]:
+    """Rewrite ``expr`` as a LinExpr; atoms are symbols or opaque subtrees.
+
+    Returns ``None`` when a loop variable is trapped inside a non-affine
+    construct (indirect subscript, product of loop variables, ...).
+    """
+    expr = as_expr(expr)
+    if isinstance(expr, Num):
+        if isinstance(expr.value, int):
+            return LinExpr.constant(expr.value)
+        return None   # non-integer constants cannot index arrays
+    if isinstance(expr, Sym):
+        return LinExpr.atom(expr.name)
+    if isinstance(expr, Un) and expr.op == "neg":
+        inner = linearize(expr.operand, loop_vars)
+        return None if inner is None else inner.scale(-1)
+    if isinstance(expr, Bin) and expr.op in ("+", "-"):
+        left = linearize(expr.left, loop_vars)
+        right = linearize(expr.right, loop_vars)
+        if left is None or right is None:
+            return None
+        return left.add(right) if expr.op == "+" else left.sub(right)
+    if isinstance(expr, Bin) and expr.op == "*":
+        left = linearize(expr.left, loop_vars)
+        right = linearize(expr.right, loop_vars)
+        if left is not None and right is not None:
+            if left.is_const:
+                return right.scale(left.const)
+            if right.is_const:
+                return left.scale(right.const)
+        return _opaque_atom(expr, loop_vars)
+    # Anything else (division, modulo, indirect Ref, ...) is opaque.
+    return _opaque_atom(expr, loop_vars)
+
+
+def _opaque_atom(expr: Expr, loop_vars: Set[str]) -> Optional[LinExpr]:
+    if expr.free_syms() & loop_vars:
+        return None   # loop variable trapped in a non-affine subtree
+    return LinExpr.atom(expr)
+
+
+def substitute_expr(expr: Expr, name: str, repl: Expr) -> Expr:
+    """Replace every occurrence of symbol ``name`` by ``repl``."""
+    if isinstance(expr, Sym):
+        return repl if expr.name == name else expr
+    if isinstance(expr, Num):
+        return expr
+    if isinstance(expr, Un):
+        return Un(expr.op, substitute_expr(expr.operand, name, repl))
+    if isinstance(expr, Bin):
+        return Bin(expr.op,
+                   substitute_expr(expr.left, name, repl),
+                   substitute_expr(expr.right, name, repl))
+    if isinstance(expr, Ref):
+        return Ref(expr.array,
+                   tuple(substitute_expr(s, name, repl) for s in expr.subs))
+    return expr
+
+
+def substitute_lin(lin: LinExpr, name: str,
+                   repl_lin: LinExpr, repl_expr: Expr) -> LinExpr:
+    """Substitute symbol ``name`` inside a LinExpr.
+
+    Direct ``name`` atoms are replaced by ``repl_lin``; opaque atoms
+    containing ``name`` are rebuilt with ``repl_expr`` spliced in.
+    """
+    out = LinExpr.constant(lin.const)
+    for atom, coef in lin.terms:
+        if isinstance(atom, str):
+            if atom == name:
+                out = out.add(repl_lin.scale(coef))
+            else:
+                out = out.add(LinExpr.of({atom: coef}))
+        elif name in atom.free_syms():
+            new_atom = substitute_expr(atom, name, repl_expr)
+            out = out.add(LinExpr.of({new_atom: coef}))
+        else:
+            out = out.add(LinExpr.of({atom: coef}))
+    return out

@@ -1,0 +1,136 @@
+"""Pretty printer for IR programs (original and transformed).
+
+Renders programs in a Fortran-flavoured pseudo-code close to the paper's
+figures::
+
+    do k = 1, 100
+      do j = jlo, jhi
+        a(i, j) = 0.25 * (b(i-1, j) + ...)
+      Barrier(B1)
+      Validate(b[0:63, jlo:jhi], WRITE_ALL)
+      ...
+      Push(b[...], b[...])
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.expr import Bin, Expr, Num, Ref, Sym, Un
+from repro.lang.nodes import (Acquire, Assign, Barrier, If, Kernel, Local,
+                              Loop, ProcCall, Program, PushStmt, Release,
+                              SectionSpec, Stmt, ValidateStmt)
+
+_PRECEDENCE = {
+    "min": 0, "max": 0,
+    "==": 1, "!=": 1, "<": 1, "<=": 1, ">": 1, ">=": 1,
+    "+": 2, "-": 2,
+    "*": 3, "/": 3, "//": 3, "%": 3,
+}
+
+
+def expr_str(e: Expr, parent_prec: int = 0) -> str:
+    """Render an expression with minimal parentheses."""
+    if isinstance(e, Num):
+        return repr(e.value)
+    if isinstance(e, Sym):
+        return e.name
+    if isinstance(e, Ref):
+        subs = ", ".join(expr_str(s) for s in e.subs)
+        return f"{e.array}({subs})"
+    if isinstance(e, Un):
+        if e.op == "neg":
+            return f"-{expr_str(e.operand, 4)}"
+        return f"{e.op}({expr_str(e.operand)})"
+    if isinstance(e, Bin):
+        prec = _PRECEDENCE.get(e.op, 1)
+        if e.op in ("min", "max"):
+            return (f"{e.op}({expr_str(e.left)}, "
+                    f"{expr_str(e.right)})")
+        text = (f"{expr_str(e.left, prec)} {e.op} "
+                f"{expr_str(e.right, prec + 1)}")
+        return f"({text})" if prec < parent_prec else text
+    return repr(e)
+
+
+def spec_str(spec: SectionSpec) -> str:
+    dims = ", ".join(
+        f"{expr_str(lo)}:{expr_str(hi)}" + (f":{step}" if step != 1 else "")
+        for lo, hi, step in spec.dims)
+    return f"{spec.array}[{dims}]"
+
+
+def stmt_lines(s: Stmt, depth: int = 0) -> List[str]:
+    pad = "  " * depth
+    if isinstance(s, Loop):
+        head = f"{pad}do {s.var} = {expr_str(s.lo)}, {expr_str(s.hi)}"
+        if s.step != 1:
+            head += f", {s.step}"
+        out = [head]
+        for b in s.body:
+            out.extend(stmt_lines(b, depth + 1))
+        return out
+    if isinstance(s, Assign):
+        gate = f"   ! owner {expr_str(s.owner)}" if s.owner is not None \
+            else ""
+        return [f"{pad}{expr_str(s.lhs)} = {expr_str(s.rhs)}{gate}"]
+    if isinstance(s, Local):
+        tag = "   ! partition" if s.partition else ""
+        return [f"{pad}{s.name} = {expr_str(s.expr)}{tag}"]
+    if isinstance(s, Barrier):
+        return [f"{pad}call Barrier({s.label or ''})"]
+    if isinstance(s, Acquire):
+        return [f"{pad}call Acquire({expr_str(s.lock)})"]
+    if isinstance(s, Release):
+        return [f"{pad}call Release({expr_str(s.lock)})"]
+    if isinstance(s, ValidateStmt):
+        name = "Validate_w_sync" if s.w_sync else "Validate"
+        specs = ", ".join(spec_str(sp) for sp in s.specs)
+        flags = s.access.value.upper()
+        if s.asynchronous:
+            flags += ", ASYNC"
+        gate = f"   ! owner {expr_str(s.owner)}" if s.owner is not None \
+            else ""
+        return [f"{pad}call {name}({specs}, {flags}){gate}"]
+    if isinstance(s, PushStmt):
+        reads = ", ".join(spec_str(sp) for sp in s.reads)
+        writes = ", ".join(spec_str(sp) for sp in s.writes)
+        label = f"   ! was Barrier({s.label})" if s.label else ""
+        return [f"{pad}call Push([{reads}], [{writes}]){label}"]
+    if isinstance(s, Kernel):
+        gate = f"   ! owner {expr_str(s.owner)}" if s.owner is not None \
+            else ""
+        reads = ", ".join(spec_str(sp) for sp in s.reads)
+        writes = ", ".join(spec_str(sp) for sp in s.writes)
+        extra = ", indirect" if s.indirect else ""
+        return [f"{pad}call {s.name}(reads=[{reads}], "
+                f"writes=[{writes}]{extra}){gate}"]
+    if isinstance(s, If):
+        out = [f"{pad}if ({expr_str(s.cond)}) then"]
+        for b in s.then:
+            out.extend(stmt_lines(b, depth + 1))
+        if s.orelse:
+            out.append(f"{pad}else")
+            for b in s.orelse:
+                out.extend(stmt_lines(b, depth + 1))
+        out.append(f"{pad}end if")
+        return out
+    if isinstance(s, ProcCall):
+        out = [f"{pad}call {s.name}()   ! procedure"]
+        for b in s.body:
+            out.extend(stmt_lines(b, depth + 1))
+        return out
+    return [f"{pad}! <{type(s).__name__}>"]
+
+
+def program_str(prog: Program) -> str:
+    out = [f"program {prog.name}"]
+    for d in prog.arrays:
+        kind = "shared" if d.shared else "private"
+        shape = "x".join(str(n) for n in d.shape)
+        out.append(f"  {kind} {d.name}({shape})")
+    out.append("")
+    for s in prog.body:
+        out.extend(stmt_lines(s, 1))
+    out.append("end program")
+    return "\n".join(out)

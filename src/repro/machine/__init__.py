@@ -1,0 +1,5 @@
+"""Machine cost model calibrated to the paper's IBM SP/2 platform."""
+
+from repro.machine.config import MachineConfig
+
+__all__ = ["MachineConfig"]

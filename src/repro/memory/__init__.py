@@ -1,0 +1,18 @@
+"""Paged shared-address-space substrate.
+
+This package knows nothing about consistency protocols; it provides
+
+* :class:`~repro.memory.section.Section` — concrete regular sections
+  (per-dimension arithmetic progressions) with exact intersection,
+  containment and page/address-range conversion;
+* :class:`~repro.memory.layout.SharedLayout` — placement of Fortran
+  column-major arrays into a single paged ``shared_common`` block;
+* :class:`~repro.memory.layout.MemoryImage` — one processor's private byte
+  image of the shared address space with typed numpy views.
+"""
+
+from repro.memory.layout import ArrayInfo, MemoryImage, SharedLayout
+from repro.memory.section import Section, ap_intersect
+
+__all__ = ["ArrayInfo", "MemoryImage", "SharedLayout", "Section",
+           "ap_intersect"]

@@ -1,0 +1,206 @@
+"""Placement of shared arrays in a paged address space, plus byte images.
+
+All shared variables live in a single block (the paper's
+``shared_common``).  Arrays are stored in Fortran (column-major) order and
+are page-aligned, so that — as in the paper's Jacobi discussion — the
+boundary columns of a block-partitioned matrix start on page boundaries
+when the column length is a multiple of the page size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import LayoutError
+from repro.memory.section import Section
+
+
+@dataclass(frozen=True)
+class ArrayInfo:
+    """Placement record for one shared array."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: np.dtype
+    base: int           # byte offset of element (0, 0, ...) in the block
+
+    @property
+    def itemsize(self) -> int:
+        return self.dtype.itemsize
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape)) * self.itemsize
+
+    @property
+    def elem_strides(self) -> Tuple[int, ...]:
+        """Element strides for Fortran order: stride[0] == 1."""
+        strides = []
+        acc = 1
+        for extent in self.shape:
+            strides.append(acc)
+            acc *= extent
+        return tuple(strides)
+
+
+def _align(offset: int, alignment: int) -> int:
+    return (offset + alignment - 1) // alignment * alignment
+
+
+class SharedLayout:
+    """Assigns arrays to page-aligned offsets in the shared block."""
+
+    def __init__(self, page_size: int = 4096) -> None:
+        self.page_size = page_size
+        self.arrays: Dict[str, ArrayInfo] = {}
+        self._next = 0
+
+    def add_array(self, name: str, shape: Sequence[int],
+                  dtype: object = np.float64) -> ArrayInfo:
+        if name in self.arrays:
+            raise LayoutError(f"array {name!r} already declared")
+        shape = tuple(int(n) for n in shape)
+        if not shape or any(n <= 0 for n in shape):
+            raise LayoutError(f"bad shape {shape} for {name!r}")
+        base = _align(self._next, self.page_size)
+        info = ArrayInfo(name, shape, np.dtype(dtype), base)
+        self.arrays[name] = info
+        self._next = base + info.nbytes
+        return info
+
+    @property
+    def total_bytes(self) -> int:
+        return _align(self._next, self.page_size)
+
+    @property
+    def npages(self) -> int:
+        return self.total_bytes // self.page_size
+
+    def info(self, name: str) -> ArrayInfo:
+        try:
+            return self.arrays[name]
+        except KeyError:
+            raise LayoutError(f"unknown shared array {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Section geometry.
+    # ------------------------------------------------------------------
+
+    def element_offset(self, name: str, index: Sequence[int]) -> int:
+        info = self.info(name)
+        if len(index) != len(info.shape):
+            raise LayoutError(f"index {index} has wrong rank for {name!r}")
+        off = 0
+        for v, extent, stride in zip(index, info.shape, info.elem_strides):
+            if v < 0 or v >= extent:
+                raise LayoutError(f"index {index} out of bounds for {name!r}")
+            off += v * stride
+        return info.base + off * info.itemsize
+
+    def byte_ranges(self, section: Section) -> List[Tuple[int, int]]:
+        """Contiguous ``[start, stop)`` byte ranges covering ``section``.
+
+        This is the "sections are translated into a set of contiguous
+        address ranges" step of the paper's Section 3.3.  Ranges are sorted
+        and adjacent/overlapping ranges merged.
+        """
+        info = self.info(section.array)
+        if section.ndim != len(info.shape):
+            raise LayoutError(
+                f"section {section} has wrong rank for {section.array!r}")
+        if section.empty:
+            return []
+        for (lo, hi, _), extent in zip(section.dims, info.shape):
+            if lo < 0 or hi >= extent:
+                raise LayoutError(f"section {section} exceeds bounds "
+                                  f"of {section.array!r} {info.shape}")
+        strides = info.elem_strides
+        # Grow a contiguous run over fully-covered leading dimensions.
+        run = 1
+        run_base = 0
+        d = 0
+        while d < section.ndim:
+            lo, hi, step = section.dims[d]
+            if step == 1 and run == strides[d]:
+                run_base += lo * strides[d]
+                run *= hi - lo + 1
+                d += 1
+                if lo != 0 or hi != info.shape[d - 1] - 1:
+                    break  # partial coverage: cannot extend further
+                continue
+            break
+        outer_dims = section.dims[d:]
+        outer_strides = strides[d:]
+        item = info.itemsize
+        ranges: List[Tuple[int, int]] = []
+        outer_iters = [range(lo, hi + 1, step) for lo, hi, step in outer_dims]
+        for combo in product(*reversed(outer_iters)):
+            off = run_base
+            for v, stride in zip(reversed(combo), outer_strides):
+                off += v * stride
+            start = info.base + off * item
+            ranges.append((start, start + run * item))
+        ranges.sort()
+        merged: List[Tuple[int, int]] = []
+        for start, stop in ranges:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], stop))
+            else:
+                merged.append((start, stop))
+        return merged
+
+    def pages_of(self, section: Section) -> List[int]:
+        """Sorted page indices touched by ``section``."""
+        pages: Set[int] = set()
+        ps = self.page_size
+        for start, stop in self.byte_ranges(section):
+            pages.update(range(start // ps, (stop - 1) // ps + 1))
+        return sorted(pages)
+
+    def pages_fully_covered(self, section: Section) -> Set[int]:
+        """Pages every byte of which lies inside ``section``'s byte ranges."""
+        full: Set[int] = set()
+        ps = self.page_size
+        for start, stop in self.byte_ranges(section):
+            first = _align(start, ps) // ps
+            last = stop // ps  # exclusive page index
+            full.update(range(first, last))
+        return full
+
+    def section_nbytes(self, section: Section) -> int:
+        return section.npoints() * self.info(section.array).itemsize
+
+
+class MemoryImage:
+    """One processor's private byte image of the shared block."""
+
+    def __init__(self, layout: SharedLayout) -> None:
+        self.layout = layout
+        self.buf = np.zeros(layout.total_bytes, dtype=np.uint8)
+
+    def view(self, name: str) -> np.ndarray:
+        """Typed Fortran-order view of a whole array."""
+        info = self.layout.info(name)
+        flat = self.buf[info.base:info.base + info.nbytes]
+        return np.ndarray(info.shape, dtype=info.dtype, buffer=flat.data,
+                          order="F")
+
+    def section_view(self, section: Section) -> np.ndarray:
+        """Numpy (possibly strided) view of ``section``."""
+        arr = self.view(section.array)
+        idx = tuple(slice(lo, hi + 1, step) for lo, hi, step in section.dims)
+        return arr[idx]
+
+    def page(self, index: int) -> np.ndarray:
+        ps = self.layout.page_size
+        return self.buf[index * ps:(index + 1) * ps]
+
+    def read_bytes(self, start: int, stop: int) -> bytes:
+        return self.buf[start:stop].tobytes()
+
+    def write_bytes(self, start: int, data: bytes) -> None:
+        self.buf[start:start + len(data)] = np.frombuffer(data, dtype=np.uint8)

@@ -1,0 +1,203 @@
+"""Concrete regular sections: per-dimension arithmetic progressions.
+
+A :class:`Section` describes a rectangular, possibly strided region of one
+named array: for each dimension a triple ``(lo, hi, step)`` with *inclusive*
+bounds (0-based).  This is the run-time counterpart of the paper's regular
+section descriptors [Havlak & Kennedy]; the compiler's symbolic RSDs
+(:mod:`repro.compiler.rsd`) evaluate to these given concrete processor
+bindings.
+
+Intersections are computed exactly using arithmetic-progression math
+(gcd/CRT), which the ``Push`` primitive relies on to decide which bytes to
+exchange between processor pairs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SectionError
+
+Dim = Tuple[int, int, int]  # (lo, hi, step), inclusive bounds
+
+
+def _crt_first(a0: int, s1: int, b0: int, s2: int) -> Optional[Tuple[int, int]]:
+    """Smallest x >= max(a0, b0) with x ≡ a0 (mod s1) and x ≡ b0 (mod s2).
+
+    Returns ``(x, lcm)`` or ``None`` if the congruences are incompatible.
+    """
+    g = math.gcd(s1, s2)
+    if (b0 - a0) % g != 0:
+        return None
+    lcm = s1 // g * s2
+    # Solve a0 + i*s1 ≡ b0 (mod s2)  =>  i ≡ (b0-a0)/g * inv(s1/g) (mod s2/g)
+    s2g = s2 // g
+    inv = pow((s1 // g) % s2g, -1, s2g) if s2g > 1 else 0
+    i = ((b0 - a0) // g * inv) % s2g
+    x = a0 + i * s1
+    lo = max(a0, b0)
+    if x < lo:
+        x += ((lo - x + lcm - 1) // lcm) * lcm
+    return x, lcm
+
+
+def ap_intersect(lo1: int, hi1: int, s1: int,
+                 lo2: int, hi2: int, s2: int) -> Optional[Dim]:
+    """Exact intersection of two arithmetic progressions (inclusive bounds).
+
+    Returns ``(lo, hi, step)`` or ``None`` when empty.
+    """
+    if lo1 > hi1 or lo2 > hi2:
+        return None
+    first = _crt_first(lo1, s1, lo2, s2)
+    if first is None:
+        return None
+    x, lcm = first
+    hi = min(hi1, hi2)
+    if x > hi:
+        return None
+    last = x + ((hi - x) // lcm) * lcm
+    if last == x:
+        return (x, x, 1)
+    return (x, last, lcm)
+
+
+@dataclass(frozen=True)
+class Section:
+    """A strided rectangular region of array ``array``."""
+
+    array: str
+    dims: Tuple[Dim, ...]
+
+    def __post_init__(self) -> None:
+        for lo, hi, step in self.dims:
+            if step <= 0:
+                raise SectionError(f"non-positive step in {self}")
+
+    # ------------------------------------------------------------------
+    # Construction helpers.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def of(cls, array: str, *dims: Sequence[int]) -> "Section":
+        """Build from ``(lo, hi[, step])`` tuples (inclusive bounds)."""
+        norm: List[Dim] = []
+        for d in dims:
+            if len(d) == 2:
+                norm.append((int(d[0]), int(d[1]), 1))
+            elif len(d) == 3:
+                norm.append((int(d[0]), int(d[1]), int(d[2])))
+            else:
+                raise SectionError(f"bad dim spec {d!r}")
+        return cls(array, tuple(norm))
+
+    @classmethod
+    def whole(cls, array: str, shape: Sequence[int]) -> "Section":
+        return cls(array, tuple((0, n - 1, 1) for n in shape))
+
+    @classmethod
+    def point(cls, array: str, index: Sequence[int]) -> "Section":
+        return cls(array, tuple((int(i), int(i), 1) for i in index))
+
+    # ------------------------------------------------------------------
+    # Basic geometry.
+    # ------------------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return len(self.dims)
+
+    @property
+    def empty(self) -> bool:
+        return any(lo > hi for lo, hi, _ in self.dims)
+
+    def npoints(self) -> int:
+        if self.empty:
+            return 0
+        n = 1
+        for lo, hi, step in self.dims:
+            n *= (hi - lo) // step + 1
+        return n
+
+    def iter_points(self) -> Iterator[Tuple[int, ...]]:
+        """Iterate all index tuples (test-sized sections only)."""
+        if self.empty:
+            return
+
+        def rec(d: int, prefix: Tuple[int, ...]) -> Iterator[Tuple[int, ...]]:
+            if d == self.ndim:
+                yield prefix
+                return
+            lo, hi, step = self.dims[d]
+            for v in range(lo, hi + 1, step):
+                yield from rec(d + 1, prefix + (v,))
+
+        yield from rec(0, ())
+
+    def contains_point(self, index: Sequence[int]) -> bool:
+        if len(index) != self.ndim:
+            return False
+        for v, (lo, hi, step) in zip(index, self.dims):
+            if v < lo or v > hi or (v - lo) % step != 0:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Set operations.
+    # ------------------------------------------------------------------
+
+    def intersect(self, other: "Section") -> Optional["Section"]:
+        """Exact intersection, or ``None`` when empty/different arrays."""
+        if self.array != other.array or self.ndim != other.ndim:
+            return None
+        dims: List[Dim] = []
+        for (l1, h1, s1), (l2, h2, s2) in zip(self.dims, other.dims):
+            d = ap_intersect(l1, h1, s1, l2, h2, s2)
+            if d is None:
+                return None
+            dims.append(d)
+        return Section(self.array, tuple(dims))
+
+    def contains(self, other: "Section") -> bool:
+        """True when every point of ``other`` lies inside ``self``."""
+        if self.array != other.array or self.ndim != other.ndim:
+            return False
+        for (l1, h1, s1), (l2, h2, s2) in zip(self.dims, other.dims):
+            if l2 < l1 or h2 > h1:
+                return False
+            if (l2 - l1) % s1 != 0:
+                return False
+            if s2 % s1 != 0 and l2 != h2:
+                return False
+        return True
+
+    def hull(self, other: "Section") -> "Section":
+        """Smallest common-stride section covering both (may over-approximate)."""
+        if self.array != other.array or self.ndim != other.ndim:
+            raise SectionError(f"hull of incompatible sections "
+                               f"{self} / {other}")
+        dims: List[Dim] = []
+        for (l1, h1, s1), (l2, h2, s2) in zip(self.dims, other.dims):
+            lo, hi = min(l1, l2), max(h1, h2)
+            step = math.gcd(math.gcd(s1, s2), abs(l2 - l1)) or 1
+            dims.append((lo, hi, step))
+        return Section(self.array, tuple(dims))
+
+    def union_exact(self, other: "Section") -> Optional["Section"]:
+        """Union when exactly representable as one section, else ``None``."""
+        hull = self.hull(other)
+        expected = self.npoints() + other.npoints()
+        inter = self.intersect(other)
+        if inter is not None:
+            expected -= inter.npoints()
+        if hull.npoints() == expected:
+            return hull
+        return None
+
+    def __repr__(self) -> str:
+        dims = ", ".join(
+            f"{lo}:{hi}" + (f":{step}" if step != 1 else "")
+            for lo, hi, step in self.dims)
+        return f"{self.array}[{dims}]"

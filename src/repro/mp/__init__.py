@@ -1,0 +1,12 @@
+"""Explicit message passing on the simulated cluster (PVMe stand-in).
+
+Hand-coded message-passing versions of the applications run against
+:class:`MpComm`.  As in the paper's PVMe/XHPF configurations, interrupts
+are disabled: all receives are posted (mailbox path), so messages never
+pay the interrupt cost that TreadMarks' request handlers require.
+"""
+
+from repro.mp.api import MpComm
+from repro.mp.system import MpSystem, MpRunResult
+
+__all__ = ["MpComm", "MpSystem", "MpRunResult"]

@@ -1,0 +1,56 @@
+"""Harness for message-passing runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.machine.config import MachineConfig
+from repro.mp.api import MpComm
+from repro.net.network import Network
+from repro.net.stats import NetStats
+from repro.sim.engine import Engine
+
+
+@dataclass
+class MpRunResult:
+    time: float
+    net: NetStats
+    returns: list
+
+    @property
+    def messages(self) -> int:
+        return self.net.messages
+
+    @property
+    def data_bytes(self) -> int:
+        return self.net.bytes
+
+
+class MpSystem:
+    """A simulated cluster running hand-coded message passing."""
+
+    def __init__(self, nprocs: int,
+                 config: Optional[MachineConfig] = None) -> None:
+        self.nprocs = nprocs
+        base = config or MachineConfig()
+        self.config = base.with_nprocs(nprocs)
+        self.engine = Engine()
+        self.net = Network(self.engine, self.config, nprocs)
+
+    def run(self, main: Callable[[MpComm], object]) -> MpRunResult:
+        comms: List[MpComm] = []
+        procs = []
+        for pid in range(self.nprocs):
+            proc = self.engine.add_process(
+                f"P{pid}", lambda p: main(comms[p.pid]))
+            ep = self.net.attach(proc)
+            procs.append(proc)
+        for proc in procs:
+            comms.append(MpComm(proc, self.net.endpoint(proc.pid)))
+        self.engine.run()
+        return MpRunResult(
+            time=self.engine.now,
+            net=self.net.stats,
+            returns=[p.result for p in procs],
+        )

@@ -1,0 +1,7 @@
+"""Simulated interconnect: point-to-point messages, handlers, statistics."""
+
+from repro.net.message import Message
+from repro.net.network import Endpoint, Network
+from repro.net.stats import NetStats
+
+__all__ = ["Message", "Endpoint", "Network", "NetStats"]

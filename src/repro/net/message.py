@@ -1,0 +1,31 @@
+"""Message record exchanged over the simulated interconnect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any
+
+_SEQ = count()
+
+
+@dataclass
+class Message:
+    """One message in flight or in a mailbox.
+
+    ``size`` is the application payload size in bytes; it determines wire
+    time and is what the statistics report (plus the fixed header).
+    ``payload`` is the Python object carrying the simulated content.
+    """
+
+    kind: str
+    src: int
+    dst: int
+    payload: Any = None
+    size: int = 0
+    tag: Any = None
+    seq: int = field(default_factory=lambda: next(_SEQ))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Message {self.kind} {self.src}->{self.dst} "
+                f"size={self.size} tag={self.tag!r}>")

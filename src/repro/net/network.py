@@ -1,0 +1,179 @@
+"""Point-to-point network with interrupt-driven request dispatch.
+
+Two delivery paths exist, mirroring the SP/2 MPL usage in the paper:
+
+* **Handler path** (unsolicited requests).  If the destination endpoint has
+  a handler registered for the message kind, the handler runs on the engine
+  thread at delivery time.  The destination CPU is charged the interrupt
+  cost plus whatever the handler charges via ``Endpoint.charge`` — stealing
+  time from the destination's computation, exactly like TreadMarks'
+  SIGIO-driven request servicing.  Handlers must not block.
+
+* **Mailbox path** (expected responses / explicit receives).  The message
+  is appended to the destination mailbox and the destination process is
+  woken if it is blocked in ``recv``.
+
+Message-passing systems in the paper (PVMe, XHPF) ran with interrupts
+disabled; they simply never register handlers, so all their traffic takes
+the mailbox path and never pays the interrupt cost.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import SimulationError
+from repro.machine.config import MachineConfig
+from repro.net.message import Message
+from repro.net.stats import NetStats
+from repro.sim.engine import Engine, Process
+
+Handler = Callable[[Message], None]
+Match = Callable[[Message], bool]
+
+
+class Endpoint:
+    """Per-processor attachment point to the network."""
+
+    def __init__(self, net: "Network", proc: Process) -> None:
+        self.net = net
+        self.proc = proc
+        self.pid = proc.pid
+        self.mailbox: List[Message] = []
+        self.handlers: Dict[str, tuple] = {}
+
+    # ------------------------------------------------------------------
+
+    def on(self, kind: str, handler: Handler, interrupt: bool = True) -> None:
+        """Register a handler for unsolicited ``kind`` messages.
+
+        ``interrupt=False`` suppresses the automatic interrupt-cost charge;
+        the handler then accounts for all CPU itself (used for batched
+        servicing such as barrier arrivals).
+        """
+        self.handlers[kind] = (handler, interrupt)
+
+    def charge(self, cost: float) -> None:
+        """Charge handler CPU time to this endpoint's processor.
+
+        Valid both from handler context (steals CPU) and from process
+        context (advances the clock).
+        """
+        if self.net.engine.current is self.proc:
+            self.proc.advance(cost)
+        else:
+            self.proc.steal_cpu(cost)
+
+    # ------------------------------------------------------------------
+
+    def send(self, dst: int, kind: str, payload: Any = None,
+             size: int = 0, tag: Any = None,
+             send_cost: Optional[float] = None) -> Message:
+        """Send one message; returns the in-flight :class:`Message`.
+
+        Charges the sender's CPU with the send overhead (or ``send_cost``
+        when given, e.g. the cheaper marginal cost of a pipelined
+        broadcast).  Works both from process context and from handler
+        context (responses sent while servicing an interrupt).
+        """
+        cfg = self.net.config
+        engine = self.net.engine
+        cost = cfg.send_overhead if send_cost is None else send_cost
+        if self.net.engine.current is self.proc:
+            self.proc.advance(cost)
+            depart = max(engine.now, self.proc.busy_until)
+        else:
+            self.proc.steal_cpu(cost)
+            depart = self.proc.busy_until
+        msg = Message(kind=kind, src=self.pid, dst=dst,
+                      payload=payload, size=size, tag=tag)
+        self.net.stats.record(kind, self.pid, size)
+        deliver_at = depart + cfg.wire_time(size)
+        engine.call_at(deliver_at, lambda: self.net._deliver(msg))
+        return msg
+
+    def broadcast(self, kind: str, payload: Any = None, size: int = 0,
+                  tag: Any = None) -> None:
+        """Send to every other endpoint (n-1 point-to-point messages)."""
+        for dst in range(self.net.nprocs):
+            if dst != self.pid:
+                self.send(dst, kind, payload=payload, size=size, tag=tag)
+
+    # ------------------------------------------------------------------
+
+    def recv(self, kind: Optional[str] = None, src: Optional[int] = None,
+             tag: Any = None, match: Optional[Match] = None) -> Message:
+        """Blocking receive of the first matching mailbox message.
+
+        Charges the receive overhead once the message is taken.  Matching
+        is by ``kind``/``src``/``tag`` (each optional) or a custom
+        predicate.
+        """
+
+        def matches(msg: Message) -> bool:
+            if match is not None:
+                return match(msg)
+            if kind is not None and msg.kind != kind:
+                return False
+            if src is not None and msg.src != src:
+                return False
+            if tag is not None and msg.tag != tag:
+                return False
+            return True
+
+        while True:
+            for i, msg in enumerate(self.mailbox):
+                if matches(msg):
+                    del self.mailbox[i]
+                    self.proc.advance(self.net.config.recv_overhead)
+                    return msg
+            self.proc.wait()
+
+    def try_recv(self, kind: Optional[str] = None,
+                 src: Optional[int] = None) -> Optional[Message]:
+        """Non-blocking variant of :meth:`recv`; returns ``None`` if empty."""
+        for i, msg in enumerate(self.mailbox):
+            if (kind is None or msg.kind == kind) and \
+               (src is None or msg.src == src):
+                del self.mailbox[i]
+                self.proc.advance(self.net.config.recv_overhead)
+                return msg
+        return None
+
+
+class Network:
+    """The interconnect tying all endpoints together."""
+
+    def __init__(self, engine: Engine, config: MachineConfig,
+                 nprocs: int) -> None:
+        self.engine = engine
+        self.config = config
+        self.nprocs = nprocs
+        self.stats = NetStats(header_bytes=config.header_bytes)
+        self._endpoints: Dict[int, Endpoint] = {}
+
+    def attach(self, proc: Process) -> Endpoint:
+        if proc.pid in self._endpoints:
+            raise SimulationError(f"pid {proc.pid} already attached")
+        ep = Endpoint(self, proc)
+        self._endpoints[proc.pid] = ep
+        return ep
+
+    def endpoint(self, pid: int) -> Endpoint:
+        return self._endpoints[pid]
+
+    # ------------------------------------------------------------------
+
+    def _deliver(self, msg: Message) -> None:
+        ep = self._endpoints.get(msg.dst)
+        if ep is None:
+            raise SimulationError(f"message to unattached pid {msg.dst}")
+        entry = ep.handlers.get(msg.kind)
+        if entry is not None:
+            handler, interrupt = entry
+            if interrupt:
+                ep.proc.steal_cpu(self.config.interrupt_cost)
+            handler(msg)
+        else:
+            ep.mailbox.append(msg)
+            ep.proc.wake()

@@ -1,0 +1,34 @@
+"""Message statistics: counts and bytes, total and per kind."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class NetStats:
+    """Aggregate network statistics for one simulation run."""
+
+    header_bytes: int = 0
+    messages: int = 0
+    bytes: int = 0
+    by_kind: Counter = field(default_factory=Counter)
+    bytes_by_kind: Counter = field(default_factory=Counter)
+    per_proc_sent: Counter = field(default_factory=Counter)
+
+    def record(self, kind: str, src: int, size: int) -> None:
+        self.messages += 1
+        total = size + self.header_bytes
+        self.bytes += total
+        self.by_kind[kind] += 1
+        self.bytes_by_kind[kind] += total
+        self.per_proc_sent[src] += 1
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "by_kind": dict(self.by_kind),
+        }

@@ -1,0 +1,40 @@
+"""Access types accepted by ``Validate`` (paper Figure 3)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class AccessType(enum.Enum):
+    """How a processor will access a validated section.
+
+    The first three *preserve* consistency: they bypass the page-fault
+    detection (prefetching diffs, pre-creating twins) but leave the
+    mechanisms armed.  The last two *disable* consistency for the section
+    and are only legal when the compiler's analysis is exact.
+    """
+
+    READ = "read"
+    WRITE = "write"
+    READ_WRITE = "read&write"
+    WRITE_ALL = "write_all"
+    READ_WRITE_ALL = "read&write_all"
+
+    @property
+    def preserves_consistency(self) -> bool:
+        return self in (AccessType.READ, AccessType.WRITE,
+                        AccessType.READ_WRITE)
+
+    @property
+    def fetches(self) -> bool:
+        """Does this access type fetch diffs to make pages consistent?"""
+        return self is not AccessType.WRITE_ALL
+
+    @property
+    def writes(self) -> bool:
+        return self is not AccessType.READ
+
+    @property
+    def overwrites(self) -> bool:
+        """Entire section written: no twins or diffs needed."""
+        return self in (AccessType.WRITE_ALL, AccessType.READ_WRITE_ALL)

@@ -1,0 +1,12 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine drives a set of simulated processors.  Each processor runs
+ordinary Python code on its own thread, but the engine guarantees that at
+most one thread executes at a time and that control transfers happen at
+well-defined blocking points (``advance``, ``wait``).  Event ordering is by
+``(virtual time, sequence number)``, so runs are fully deterministic.
+"""
+
+from repro.sim.engine import Engine, Process, ProcessState
+
+__all__ = ["Engine", "Process", "ProcessState"]

@@ -1,0 +1,271 @@
+"""Threads-as-coroutines discrete-event simulation engine.
+
+Every simulated processor is a :class:`Process` backed by a Python thread.
+The :class:`Engine` owns a virtual clock (in microseconds) and an event
+queue; it resumes exactly one process at a time and regains control whenever
+that process blocks.  Because only one thread ever runs and events are
+ordered by ``(time, sequence)``, simulations are deterministic.
+
+Blocking points available to process code:
+
+* :meth:`Process.advance` — consume ``dt`` microseconds of CPU time.  If an
+  interrupt handler steals CPU while the process is computing, the wake-up
+  is postponed by the stolen time.
+* :meth:`Process.wait` — block until another component calls
+  :meth:`Process.wake` (used by mailboxes, locks, barriers).
+
+Interrupt handlers (see :mod:`repro.net.network`) run *on the engine
+thread* at message-delivery time; they must never block.  CPU time they
+consume is charged to the interrupted process through
+:meth:`Process.steal_cpu`.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import threading
+from _thread import allocate_lock
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationDeadlock, SimulationError
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle states of a simulated process."""
+
+    NEW = "new"
+    RUNNING = "running"
+    ADVANCING = "advancing"
+    WAITING = "waiting"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class Process:
+    """A simulated processor running ``main`` under engine control.
+
+    Application code running inside ``main`` may call :meth:`advance` and
+    :meth:`wait`; everything else (message delivery, interrupts) is driven
+    by the engine between those blocking points.
+    """
+
+    def __init__(self, engine: "Engine", pid: int, name: str,
+                 main: Callable[["Process"], None]) -> None:
+        self.engine = engine
+        self.pid = pid
+        self.name = name
+        self.state = ProcessState.NEW
+        #: Virtual time until which this processor's CPU is busy servicing
+        #: interrupts; resumptions from WAITING are delayed past it.
+        self.busy_until = 0.0
+        #: Target wake-up time while in state ADVANCING (lazily rescheduled).
+        self.wake_time = 0.0
+        self._wake_pending = False
+        self._main = main
+        # Raw-lock ping-pong handoff (much cheaper than semaphores; these
+        # switches happen hundreds of thousands of times per simulation).
+        self._plock = allocate_lock()
+        self._plock.acquire()
+        self._exc: Optional[BaseException] = None
+        self.result: object = None
+        self._thread = threading.Thread(
+            target=self._thread_main, name=f"sim-{name}", daemon=True)
+
+    # ------------------------------------------------------------------
+    # Thread plumbing (engine side and process side).
+    # ------------------------------------------------------------------
+
+    def _thread_main(self) -> None:
+        self._plock.acquire()
+        try:
+            self.result = self._main(self)
+            self.state = ProcessState.DONE
+        except BaseException as exc:  # propagated to Engine.run()
+            self._exc = exc
+            self.state = ProcessState.FAILED
+        finally:
+            self.engine._elock.release()
+
+    def _switch_in(self) -> None:
+        """Engine thread: run this process until it blocks again."""
+        self.state = ProcessState.RUNNING
+        self.engine._current = self
+        self._plock.release()
+        self.engine._elock.acquire()
+        self.engine._current = None
+        if self._exc is not None:
+            exc, self._exc = self._exc, None
+            raise SimulationError(
+                f"process {self.name!r} failed at t={self.engine.now:.1f}"
+            ) from exc
+
+    def _block(self, state: ProcessState) -> None:
+        """Process thread: yield control back to the engine."""
+        self.state = state
+        self.engine._elock.release()
+        self._plock.acquire()
+        self.state = ProcessState.RUNNING
+
+    # ------------------------------------------------------------------
+    # Blocking API used by simulated code.
+    # ------------------------------------------------------------------
+
+    def advance(self, dt: float) -> None:
+        """Consume ``dt`` microseconds of CPU time on this processor."""
+        if dt < 0:
+            raise SimulationError(f"negative advance: {dt}")
+        engine = self.engine
+        start = max(engine.now, self.busy_until)
+        self.wake_time = start + dt
+        self.busy_until = self.wake_time
+        if self.wake_time <= engine.now:
+            return
+        # Fast path: if no queued event precedes our wake-up, the engine
+        # would pop our wake event next anyway — skip the (expensive)
+        # thread handoff and move the clock directly.
+        queue = engine._queue
+        if not queue or queue[0][0] >= self.wake_time:
+            engine.now = self.wake_time
+            return
+        engine._schedule(self.wake_time, self._advance_wake)
+        self._block(ProcessState.ADVANCING)
+
+    def _advance_wake(self) -> None:
+        if self.state is not ProcessState.ADVANCING:
+            return
+        if self.engine.now < self.wake_time:
+            # An interrupt postponed us; re-arm at the new wake time.
+            self.engine._schedule(self.wake_time, self._advance_wake)
+            return
+        self._switch_in()
+
+    def wait(self) -> None:
+        """Block until some component calls :meth:`wake`.
+
+        Callers are responsible for re-checking their condition in a loop:
+        a wake-up does not carry a payload.
+        """
+        if self._wake_pending:
+            self._wake_pending = False
+            return
+        self._block(ProcessState.WAITING)
+
+    def wake(self) -> None:
+        """Schedule this process to resume from :meth:`wait`.
+
+        The resumption happens no earlier than ``busy_until`` so that CPU
+        time stolen by interrupt handlers delays progress.
+        """
+        engine = self.engine
+        if self.state is ProcessState.WAITING:
+            when = max(engine.now, self.busy_until)
+            engine._schedule(when, self._wait_wake)
+        else:
+            self._wake_pending = True
+
+    def _wait_wake(self) -> None:
+        if self.state is not ProcessState.WAITING:
+            return
+        if self.engine.now < self.busy_until:
+            self.engine._schedule(self.busy_until, self._wait_wake)
+            return
+        self._switch_in()
+
+    def steal_cpu(self, cost: float) -> None:
+        """Charge ``cost`` microseconds of interrupt-service CPU time.
+
+        Called from handlers running on the engine thread while this
+        process is blocked.  If the process is mid-``advance`` the wake-up
+        moves later; if it is waiting, ``busy_until`` moves later.
+        """
+        if cost < 0:
+            raise SimulationError(f"negative steal_cpu: {cost}")
+        now = self.engine.now
+        self.busy_until = max(self.busy_until, now) + cost
+        if self.state is ProcessState.ADVANCING:
+            self.wake_time = max(self.wake_time, now) + cost
+
+    @property
+    def alive(self) -> bool:
+        return self.state not in (ProcessState.DONE, ProcessState.FAILED)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Process {self.name} pid={self.pid} {self.state.value}>"
+
+
+class Engine:
+    """Discrete-event engine: virtual clock plus event queue."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._seq = 0
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._processes: List[Process] = []
+        self._elock = allocate_lock()
+        self._elock.acquire()
+        self._current: Optional[Process] = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+
+    def add_process(self, name: str,
+                    main: Callable[[Process], None]) -> Process:
+        """Register a new simulated processor running ``main``."""
+        if self._started:
+            raise SimulationError("cannot add processes after run() started")
+        proc = Process(self, len(self._processes), name, main)
+        self._processes.append(proc)
+        return proc
+
+    @property
+    def processes(self) -> List[Process]:
+        return list(self._processes)
+
+    @property
+    def current(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._current
+
+    def _schedule(self, when: float, action: Callable[[], None]) -> None:
+        if when < self.now:
+            raise SimulationError(
+                f"event scheduled in the past: {when} < {self.now}")
+        heapq.heappush(self._queue, (when, self._seq, action))
+        self._seq += 1
+
+    def call_at(self, when: float, action: Callable[[], None]) -> None:
+        """Schedule ``action`` to run on the engine thread at time ``when``."""
+        self._schedule(when, action)
+
+    def call_after(self, delay: float, action: Callable[[], None]) -> None:
+        """Schedule ``action`` to run ``delay`` microseconds from now."""
+        self._schedule(self.now + delay, action)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        """Run until every process finishes.
+
+        Raises :class:`SimulationDeadlock` if the event queue drains while
+        some process is still blocked, and :class:`SimulationError`
+        (chaining the original exception) if any process raises.
+        """
+        if self._started:
+            raise SimulationError("engine already ran")
+        self._started = True
+        for proc in self._processes:
+            proc._thread.start()
+        for proc in self._processes:
+            self._schedule(0.0, proc._switch_in)
+        while self._queue:
+            when, _, action = heapq.heappop(self._queue)
+            self.now = when
+            action()
+        blocked = [p for p in self._processes if p.alive]
+        if blocked:
+            states = ", ".join(
+                f"{p.name}={p.state.value}" for p in blocked)
+            raise SimulationDeadlock(
+                f"no events left at t={self.now:.1f} but processes are "
+                f"blocked: {states}")

@@ -1,0 +1,25 @@
+"""TreadMarks-style lazy-release-consistency DSM core.
+
+Implements the protocol machinery of Section 2 of the paper: lazy release
+consistency with vector timestamps, intervals and write notices; an
+invalidate protocol; a multiple-writer protocol with twins and run-length
+encoded diffs created lazily; distributed locks with last-releaser
+forwarding; and a centralized barrier master that redistributes write
+notices.
+
+The augmented interface the compiler targets (``Validate``, ``Push``, …)
+lives in :mod:`repro.rt` and drives the primitives exposed here.
+"""
+
+from repro.tm.diffs import Diff, apply_diff, diff_payload_bytes, make_diff
+from repro.tm.meta import IntervalRecord, PageMeta, interval_wire_bytes
+from repro.tm.stats import TmStats
+from repro.tm.node import TmNode
+from repro.tm.sharedarray import SharedArray
+from repro.tm.system import TmSystem
+
+__all__ = [
+    "Diff", "apply_diff", "diff_payload_bytes", "make_diff",
+    "IntervalRecord", "PageMeta", "interval_wire_bytes",
+    "TmStats", "TmNode", "SharedArray", "TmSystem",
+]

@@ -1,0 +1,78 @@
+"""Protocol metadata: page table entries, intervals, write notices.
+
+An *interval* is the period of execution of one processor between two
+consecutive synchronization releases.  Ending an interval records a
+*write notice* (writer, interval, page) for every page dirtied during it.
+Write notices propagate at acquires (lock grants, barrier departures) and
+cause invalidations; the corresponding diffs are fetched on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+import numpy as np
+
+#: Wire bytes per interval header (writer, index) in a notice message.
+INTERVAL_HEADER_BYTES = 8
+#: Wire bytes per page id inside a write-notice list.
+PAGE_ID_BYTES = 4
+#: Wire bytes per vector-clock entry.
+VC_ENTRY_BYTES = 4
+
+
+@dataclass(frozen=True)
+class IntervalRecord:
+    """One processor's writes between two releases, plus its timestamp."""
+
+    writer: int
+    index: int                    # per-writer interval counter, 1-based
+    vc: Tuple[int, ...]           # writer's vector clock at interval end
+    pages: Tuple[int, ...]        # pages dirtied during the interval
+    overwrite_pages: FrozenSet[int] = frozenset()
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        return (self.writer, self.index)
+
+    def wire_bytes(self) -> int:
+        return (INTERVAL_HEADER_BYTES
+                + VC_ENTRY_BYTES * len(self.vc)
+                + PAGE_ID_BYTES * len(self.pages))
+
+    def happens_before(self, other: "IntervalRecord") -> bool:
+        return (self.vc != other.vc
+                and all(a <= b for a, b in zip(self.vc, other.vc)))
+
+    def order_key(self) -> Tuple[int, int, int]:
+        """A total order extending happens-before (sum of vc dominates)."""
+        return (sum(self.vc), self.writer, self.index)
+
+
+def interval_wire_bytes(intervals) -> int:
+    return sum(rec.wire_bytes() for rec in intervals)
+
+
+@dataclass
+class PageMeta:
+    """Per-processor per-page protocol state."""
+
+    index: int
+    #: Readable?  False after an invalidation (access → read fault).
+    valid: bool = True
+    #: Writable without a protection fault?
+    write_enabled: bool = False
+    #: Copy taken at the first write after protection (None if absent).
+    twin: Optional[np.ndarray] = None
+    #: Dirtied during the current interval?
+    dirty: bool = False
+    #: Current-interval writes cover the whole page (WRITE_ALL) — no twin
+    #: or diff needed; remote readers get the full page.
+    overwrite: bool = False
+    #: Interval index whose diff has not been created yet (twin retained).
+    undiffed: Optional[int] = None
+
+    def reset_interval_flags(self) -> None:
+        self.dirty = False
+        self.overwrite = False

@@ -1,0 +1,1107 @@
+"""Per-processor TreadMarks protocol engine with the augmented interface.
+
+One :class:`TmNode` exists per simulated processor.  It owns the
+processor's private image of the shared address space, the page table, the
+lazy-release-consistency bookkeeping (vector clock, intervals, write
+notices, diffs) and the synchronization client/manager logic.  It also
+implements the paper's augmented run-time interface: :meth:`validate`,
+:meth:`validate_w_sync` and :meth:`push`.
+
+Protocol message kinds
+----------------------
+
+========================  =====================================================
+``diff_req``              request diffs for (page, writer, interval) entries
+``diff_resp``             aggregated diffs, one message per responder
+``lock_req``              lock acquire sent to the manager (carries vc)
+``lock_fwd``              manager forwards the request to the last requester
+``lock_grant``            token + write notices (+ piggy-backed diffs)
+``barrier_arrive``        client vc + fresh write notices (+ sync fetch reqs)
+``barrier_depart``        master's merged notices (+ forwarded fetch reqs)
+``diff_donate``           unsolicited diffs sent to a ``Validate_w_sync`` caller
+``push_data``             raw section bytes exchanged by ``Push``
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ProtocolError
+from repro.memory.section import Section
+from repro.net.message import Message
+from repro.rt.access import AccessType
+from repro.tm.diffs import (Diff, apply_diff, diff_payload_bytes,
+                            full_page_diff, make_diff)
+from repro.tm.meta import (IntervalRecord, PageMeta, interval_wire_bytes,
+                           PAGE_ID_BYTES, VC_ENTRY_BYTES)
+from repro.tm.stats import TmStats
+from repro.memory.layout import MemoryImage
+
+Key = Tuple[int, int]          # (writer, interval index)
+DiffKey = Tuple[int, int, int]  # (writer, interval index, page)
+
+
+@dataclass
+class SyncFetchRequest:
+    """A Validate_w_sync fetch piggy-backed on a synchronization op.
+
+    ``page_marks`` carries, for every requested page, the per-writer
+    watermark of diffs the requester has already applied — the paper's
+    "current vector timestamps for the pages in the sections requested".
+    Responders donate their diffs above the watermark.
+    """
+
+    requester: int
+    page_marks: Dict[int, Tuple[int, ...]]
+
+    @property
+    def pages(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.page_marks))
+
+    def wire_bytes(self) -> int:
+        nwriters = len(next(iter(self.page_marks.values()), ()))
+        return 4 + len(self.page_marks) * (PAGE_ID_BYTES
+                                           + VC_ENTRY_BYTES * nwriters)
+
+
+@dataclass
+class AsyncPlan:
+    """An asynchronous Validate waiting for its first page fault."""
+
+    pages: Set[int]
+    fetch_pages: List[int]
+    needed_by_page: Dict[int, List[Key]]
+    expected: Dict[int, int]        # writer -> response tag
+    perm_sections: List[Section]
+    access_type: AccessType
+
+
+@dataclass
+class AsyncPushPlan:
+    """An asynchronous Push whose receives complete at the first fault
+    (Section 3.2.3: "the asynchronous versions of Validate_w_sync and
+    Push work similarly" — the paper designed but did not implement
+    this; we provide it as the designed extension)."""
+
+    round_tag: int
+    senders: List[int]
+    pages: Set[int]
+
+
+@dataclass
+class _WsyncEntry:
+    sections: List[Section]
+    access_type: AccessType
+    asynchronous: bool = False
+    #: Adaptive fallback: too many pages to merge; run a plain Validate
+    #: *after* the synchronization instead (paper Section 4.2's "it is
+    #: sometimes better to insert a Validate after f").
+    fallback: bool = False
+
+
+class TmNode:
+    """One processor's DSM engine (protocol + augmented interface)."""
+
+    def __init__(self, system, proc, endpoint) -> None:
+        self.sys = system
+        self.proc = proc
+        self.ep = endpoint
+        self.pid = proc.pid
+        self.nprocs = system.nprocs
+        self.cfg = system.config
+        self.layout = system.layout
+        self.image = MemoryImage(self.layout)
+        self.pages = [PageMeta(i) for i in range(self.layout.npages)]
+        self.stats = TmStats()
+        #: Post-run reconciliation mode: suppress cost charging and stats.
+        self.offline = False
+        self._atomic_depth = 0
+        self._deferred_cost = 0.0
+
+        # --- LRC state -------------------------------------------------
+        self.vc: List[int] = [0] * self.nprocs
+        self.intervals: Dict[Key, IntervalRecord] = {}
+        #: Per-writer records ordered by index (for fast _intervals_after).
+        self._by_writer: List[List[IntervalRecord]] = [
+            [] for _ in range(self.nprocs)]
+        self.page_notices: Dict[int, List[Key]] = {}
+        self.applied: Set[DiffKey] = set()
+        self.diff_store: Dict[DiffKey, Diff] = {}
+        self.dirty: Set[int] = set()
+
+        # --- locks -----------------------------------------------------
+        self.lock_token: Dict[int, bool] = {}
+        self.lock_held: Set[int] = set()
+        self.lock_pending: Dict[int, List[Tuple[int, Tuple[int, ...],
+                                                Optional[SyncFetchRequest]]]] = {}
+        self.lock_tail: Dict[int, int] = {}   # manager-side chain tail
+
+        # --- barrier ---------------------------------------------------
+        self.master_pid = 0
+        self.master_seen_vc: List[int] = [0] * self.nprocs
+        self._barrier_box: Dict[int, tuple] = {}
+
+        # --- garbage collection ------------------------------------------
+        #: Run a GC round when the master sees this many interval records
+        #: (None disables).  TreadMarks garbage-collects at barriers:
+        #: every processor validates its pages, then all interval
+        #: records, write notices and diffs are discarded.
+        self.gc_threshold: Optional[int] = system.gc_threshold
+        self.gc_rounds = 0
+        #: Ablation switch: create diffs eagerly at interval end instead
+        #: of lazily at first demand (TreadMarks' lazy diff creation is
+        #: one of its signature optimizations; this quantifies it).
+        self.eager_diffing: bool = getattr(system, "eager_diffing",
+                                           False)
+
+        # --- compiler-driven machinery ----------------------------------
+        self._wsync_queue: List[_WsyncEntry] = []
+        self._async_plans: List[AsyncPlan] = []
+        self._async_push_plans: List[AsyncPushPlan] = []
+        self._req_seq = 0
+        self._push_round = 0
+
+        endpoint.on("diff_req", self._h_diff_req)
+        endpoint.on("lock_req", self._h_lock_req)
+        endpoint.on("lock_fwd", self._h_lock_fwd)
+        endpoint.on("diff_donate", self._h_diff_donate)
+        if self.pid == self.master_pid:
+            endpoint.on("barrier_arrive", self._h_barrier_arrive,
+                        interrupt=False)
+
+    # ==================================================================
+    # Small helpers.
+    # ==================================================================
+
+    def array(self, name: str):
+        """Application-facing handle for shared array ``name``."""
+        from repro.tm.sharedarray import SharedArray
+        return SharedArray(self, name)
+
+    def _charge(self, cost: float) -> None:
+        if self.offline:
+            return
+        if self._atomic_depth > 0:
+            # Inside a protocol-critical section: charging would yield to
+            # the engine and let interrupt handlers observe half-updated
+            # state (e.g. a bumped vector clock without its interval
+            # record).  Real TreadMarks masks signals here; we defer the
+            # cost until the section completes.
+            self._deferred_cost += cost
+            return
+        self.ep.charge(cost)
+
+    @contextmanager
+    def _atomic(self):
+        """Mask 'interrupts': defer all cost charging until exit."""
+        self._atomic_depth += 1
+        try:
+            yield
+        finally:
+            self._atomic_depth -= 1
+            if self._atomic_depth == 0 and self._deferred_cost:
+                cost, self._deferred_cost = self._deferred_cost, 0.0
+                if not self.offline:
+                    self.ep.charge(cost)
+
+    def _charge_protect(self, page: int) -> None:
+        if self.offline:
+            return
+        self.stats.protect_ops += 1
+        cost = self.cfg.protect_cost(page)
+        self.stats.t_protect += cost
+        self._charge(cost)
+
+    def _charge_protect_run(self, pages) -> None:
+        """Charge mprotect calls over contiguous runs of ``pages``.
+
+        Real TreadMarks protects a Validate section or an interval's
+        dirty list with one mprotect per contiguous address range, not
+        one per page; the per-call cost follows the AIX linear model.
+        """
+        if self.offline:
+            return
+        pages = sorted(pages)
+        i = 0
+        while i < len(pages):
+            j = i
+            while j + 1 < len(pages) and pages[j + 1] == pages[j] + 1:
+                j += 1
+            self.stats.protect_ops += 1
+            cost = (self.cfg.protect_cost(pages[i])
+                    + self.cfg.prot_per_page * (j - i))
+            self.stats.t_protect += cost
+            self._charge(cost)
+            i = j + 1
+
+    def _vc_tuple(self) -> Tuple[int, ...]:
+        return tuple(self.vc)
+
+    def _merge_vc(self, other: Sequence[int]) -> None:
+        self.vc = [max(a, b) for a, b in zip(self.vc, other)]
+
+    def _has_token(self, lid: int) -> bool:
+        return self.lock_token.get(lid, lid % self.nprocs == self.pid)
+
+    # ==================================================================
+    # Interval management.
+    # ==================================================================
+
+    def end_interval(self) -> Optional[IntervalRecord]:
+        """Close the current interval, creating write notices.
+
+        Called at lock releases, barrier arrivals and pushes.  Dirty pages
+        are write-protected; twins are kept so that diffs can be created
+        lazily on first demand.
+        """
+        if not self.dirty:
+            return None
+        with self._atomic():
+            index = self.vc[self.pid] + 1
+            self.vc[self.pid] = index
+            pages = tuple(sorted(self.dirty))
+            overwrite = frozenset(
+                p for p in pages if self.pages[p].overwrite)
+            to_protect = []
+            for p in pages:
+                meta = self.pages[p]
+                if meta.write_enabled:
+                    to_protect.append(p)
+                    meta.write_enabled = False
+                if not meta.overwrite and meta.twin is not None:
+                    meta.undiffed = index
+                meta.reset_interval_flags()
+                self.applied.add((self.pid, index, p))
+            self._charge_protect_run(to_protect)
+            rec = IntervalRecord(self.pid, index, self._vc_tuple(), pages,
+                                 overwrite)
+            self._record_interval(rec)
+            self.dirty.clear()
+            if self.eager_diffing:
+                for p in pages:
+                    self._flush_undiffed(p)
+        return rec
+
+    def _record_interval(self, rec: IntervalRecord) -> bool:
+        if rec.key in self.intervals:
+            return False
+        self.intervals[rec.key] = rec
+        lst = self._by_writer[rec.writer]
+        lst.append(rec)
+        if len(lst) > 1 and lst[-2].index > rec.index:
+            lst.sort(key=lambda r: r.index)
+        for p in rec.pages:
+            self.page_notices.setdefault(p, []).append(rec.key)
+        return True
+
+    def apply_notices(self, recs: Iterable[IntervalRecord],
+                      sender_vc: Optional[Sequence[int]] = None) -> None:
+        """Record incoming write notices and invalidate affected pages.
+
+        Runs atomically (costs deferred): a handler must never observe a
+        merged vector clock without the interval records that justify it.
+        """
+        with self._atomic():
+            self._apply_notices_inner(recs, sender_vc)
+
+    def _apply_notices_inner(self, recs, sender_vc) -> None:
+        for rec in sorted(recs, key=IntervalRecord.order_key):
+            if not self._record_interval(rec):
+                continue
+            invalidate = []
+            for p in rec.pages:
+                if (rec.writer, rec.index, p) in self.applied:
+                    continue    # satisfied earlier (e.g. by a Push)
+                meta = self.pages[p]
+                if meta.valid or meta.write_enabled:
+                    invalidate.append(p)
+                    self.stats.invalidations += 1
+                    meta.valid = False
+                    meta.write_enabled = False
+            self._charge_protect_run(invalidate)
+            self._merge_vc(rec.vc)
+        if sender_vc is not None:
+            self._merge_vc(sender_vc)
+
+    def _intervals_after(self, vc: Sequence[int]) -> List[IntervalRecord]:
+        from bisect import bisect_right
+        out: List[IntervalRecord] = []
+        for w in range(self.nprocs):
+            lst = self._by_writer[w]
+            if not lst or lst[-1].index <= vc[w]:
+                continue
+            keys = [r.index for r in lst]
+            out.extend(lst[bisect_right(keys, vc[w]):])
+        return out
+
+    # ==================================================================
+    # Diff bookkeeping.
+    # ==================================================================
+
+    def _needed_notices(self, page: int) -> List[Key]:
+        """Unapplied notices for ``page`` after overwrite dominance."""
+        notices = self.page_notices.get(page, [])
+        unapplied = [k for k in notices
+                     if (k[0], k[1], page) not in self.applied]
+        if not unapplied:
+            return []
+        doms = [k for k in notices
+                if page in self.intervals[k].overwrite_pages]
+        if doms:
+            om = max(doms, key=lambda k: self.intervals[k].order_key())
+            om_rec = self.intervals[om]
+            kept = []
+            for k in unapplied:
+                if k != om and self.intervals[k].happens_before(om_rec):
+                    # Subsumed: the dominating interval rewrote the page.
+                    self.applied.add((k[0], k[1], page))
+                else:
+                    kept.append(k)
+            unapplied = kept
+        return unapplied
+
+    def _flush_undiffed(self, page: int) -> None:
+        meta = self.pages[page]
+        if meta.undiffed is None:
+            return
+        diff = make_diff(page, self.pid, meta.undiffed, meta.twin,
+                         self.image.page(page))
+        cost = self.cfg.diff_create_cost(self.layout.page_size)
+        self.stats.t_diff += cost
+        self._charge(cost)
+        self.stats.diffs_created += 1
+        self.diff_store[(self.pid, meta.undiffed, page)] = diff
+        meta.undiffed = None
+        meta.twin = None
+
+    def _get_or_make_diff(self, page: int, interval: int) -> Diff:
+        """Server side: produce my diff for (page, interval)."""
+        key = (self.pid, interval, page)
+        diff = self.diff_store.get(key)
+        if diff is not None:
+            return diff
+        meta = self.pages[page]
+        if meta.undiffed == interval:
+            self._flush_undiffed(page)
+            return self.diff_store[key]
+        rec = self.intervals.get((self.pid, interval))
+        if rec is not None and page in rec.overwrite_pages:
+            # WRITE_ALL interval: no twin was made; ship the whole page.
+            self._charge(self.cfg.twin_cost)
+            self.stats.full_pages_served += 1
+            return full_page_diff(page, self.pid, interval,
+                                  self.image.page(page))
+        raise ProtocolError(
+            f"P{self.pid} asked for unavailable diff page={page} "
+            f"interval={interval}")
+
+    def _store_diffs(self, diffs: Iterable[Diff]) -> None:
+        for d in diffs:
+            self.diff_store.setdefault((d.writer, d.interval, d.page), d)
+
+    def _apply_page(self, page: int, keys: List[Key]) -> None:
+        recs = sorted((self.intervals[k] for k in keys),
+                      key=IntervalRecord.order_key)
+        page_bytes = self.image.page(page)
+        meta = self.pages[page]
+        for rec in recs:
+            dkey = (rec.writer, rec.index, page)
+            if dkey in self.applied:
+                continue
+            diff = self.diff_store.get(dkey)
+            if diff is None:
+                raise ProtocolError(
+                    f"P{self.pid} missing diff {dkey} during apply")
+            written = apply_diff(diff, page_bytes)
+            if meta.twin is not None:
+                apply_diff(diff, meta.twin)
+            cost = self.cfg.diff_apply_cost(written)
+            self.stats.t_diff += cost
+            self._charge(cost)
+            self.stats.diffs_applied += 1
+            self.stats.diff_bytes_applied += written
+            self.applied.add(dkey)
+        meta.valid = True
+
+    # ==================================================================
+    # Fetching (the communication side of Validate and of page faults).
+    # ==================================================================
+
+    def _collect_missing(self, pages: Iterable[int]):
+        needed_by_page: Dict[int, List[Key]] = {}
+        missing: Dict[int, List[Tuple[int, int]]] = {}
+        for p in pages:
+            needed = self._needed_notices(p)
+            if needed:
+                needed_by_page[p] = needed
+            for (w, i) in needed:
+                if (w, i, p) not in self.diff_store:
+                    if w == self.pid:
+                        raise ProtocolError(
+                            f"P{self.pid} lost its own diff ({w},{i},{p})")
+                    missing.setdefault(w, []).append((p, i))
+        return needed_by_page, missing
+
+    def _send_diff_requests(self, missing) -> Dict[int, int]:
+        expected: Dict[int, int] = {}
+        for w in sorted(missing):
+            entries = missing[w]
+            self._req_seq += 1
+            tag = self._req_seq
+            self.ep.send(w, "diff_req", payload=(tuple(entries), tag),
+                         size=4 + 12 * len(entries), tag=tag)
+            expected[w] = tag
+        return expected
+
+    def _recv_diff_responses(self, expected: Dict[int, int]) -> None:
+        if not expected:
+            return
+        t0 = self.sys.engine.now
+        for w in sorted(expected):
+            msg = self.ep.recv(kind="diff_resp", src=w, tag=expected[w])
+            self._store_diffs(msg.payload)
+        self.stats.t_fetch_wait += self.sys.engine.now - t0
+
+    def _fetch_and_apply(self, pages: Sequence[int]) -> None:
+        pages = sorted(set(pages))
+        needed_by_page, missing = self._collect_missing(pages)
+        expected = self._send_diff_requests(missing)
+        self._recv_diff_responses(expected)
+        with self._atomic():    # batch apply charges into one advance
+            for p in pages:
+                self._apply_page(p, needed_by_page.get(p, []))
+                self.pages[p].valid = True
+
+    def _h_diff_req(self, msg: Message) -> None:
+        entries, tag = msg.payload
+        with self._atomic():
+            self._charge(self.cfg.request_service)
+            diffs = [self._get_or_make_diff(p, i) for (p, i) in entries]
+            self.ep.send(msg.src, "diff_resp", payload=tuple(diffs),
+                         size=diff_payload_bytes(diffs), tag=tag)
+
+    def _h_diff_donate(self, msg: Message) -> None:
+        self._charge(self.cfg.request_service)
+        self._store_diffs(msg.payload)
+        self.proc.wake()   # a _complete_wsync may be waiting for these
+
+    # ==================================================================
+    # Page faults (the base TreadMarks access-detection path).
+    # ==================================================================
+
+    def ensure_read(self, pages: Iterable[int]) -> None:
+        """Make every page readable, faulting (and fetching) as needed."""
+        for p in pages:
+            if self.pages[p].valid:
+                continue
+            self.stats.read_faults += 1
+            self._charge(self.cfg.protect_cost(p))
+            if not self._complete_async_covering(p):
+                self._fetch_and_apply([p])
+
+    def ensure_write(self, pages: Iterable[int]) -> None:
+        """Make every page writable, faulting/twinning as needed."""
+        for p in pages:
+            meta = self.pages[p]
+            if meta.write_enabled:
+                continue
+            self.stats.write_faults += 1
+            self._charge(self.cfg.protect_cost(p))
+            if self._complete_async_covering(p) and meta.write_enabled:
+                continue
+            if not meta.valid:
+                self._fetch_and_apply([p])
+            self._enable_with_twin(p)
+
+    # ==================================================================
+    # Validate / Validate_w_sync (paper Section 3.1.1).
+    # ==================================================================
+
+    def validate(self, sections: Sequence[Section], access_type: AccessType,
+                 asynchronous: bool = False) -> None:
+        """Prefetch and set permissions for ``sections`` (Figure 3)."""
+        self.stats.validates += 1
+        pages = sorted({p for s in sections
+                        for p in self.layout.pages_of(s)})
+        if access_type.fetches:
+            fetch = [p for p in pages if not self.pages[p].valid]
+        else:
+            fetch = []
+        if asynchronous and fetch:
+            needed_by_page, missing = self._collect_missing(fetch)
+            expected = self._send_diff_requests(missing)
+            self._async_plans.append(AsyncPlan(
+                pages=set(pages), fetch_pages=fetch,
+                needed_by_page=needed_by_page, expected=expected,
+                perm_sections=list(sections), access_type=access_type))
+            return
+        if fetch:
+            self._fetch_and_apply(fetch)
+        self._apply_validate_perms(sections, access_type)
+
+    def validate_w_sync(self, sections: Sequence[Section],
+                        access_type: AccessType,
+                        asynchronous: bool = False,
+                        page_limit: Optional[int] = None) -> None:
+        """Defer the fetch: piggy-back it on the next synchronization.
+
+        ``page_limit`` makes the Section 3.3 trade-off adaptive: when the
+        request covers more pages than the limit, the savings in messages
+        no longer compensate for the responders' page-list scans, so fall
+        back to a plain (post-sync) Validate.
+        """
+        if page_limit is not None:
+            npages = len({p for s in sections
+                          for p in self.layout.pages_of(s)})
+            if npages > page_limit:
+                # Too large to merge: defer to a plain post-sync Validate.
+                self._wsync_queue.append(
+                    _WsyncEntry(list(sections), access_type,
+                                asynchronous=True, fallback=True))
+                return
+        self.stats.validates += 1
+        self._wsync_queue.append(
+            _WsyncEntry(list(sections), access_type, asynchronous))
+
+    def _page_marks(self, page: int) -> Tuple[int, ...]:
+        """Per-writer watermark of diffs applied to ``page``."""
+        marks = [0] * self.nprocs
+        for (w, i) in self.page_notices.get(page, []):
+            if (w, i, page) in self.applied and i > marks[w]:
+                marks[w] = i
+        return tuple(marks)
+
+    def _take_wsync_request(self):
+        """Consume queued w_sync entries into one fetch request."""
+        if not self._wsync_queue:
+            return None, []
+        entries = self._wsync_queue
+        self._wsync_queue = []
+        pages = sorted({p for e in entries for s in e.sections
+                        for p in self.layout.pages_of(s)
+                        if e.access_type.fetches and not e.fallback})
+        req = SyncFetchRequest(
+            self.pid, {p: self._page_marks(p) for p in pages})
+        return req, entries
+
+    def _complete_wsync(self, entries: List[_WsyncEntry],
+                        req: Optional[SyncFetchRequest] = None,
+                        await_donations: bool = False) -> None:
+        """After the sync op: apply locally-available diffs, set perms.
+
+        After a barrier (``await_donations=True``) every writer donates its
+        own fresh diffs for the requested pages, so the requester knows
+        exactly which diffs to expect and blocks until they arrive.  After
+        a lock grant the piggy-backed diffs are already here; anything
+        missing is left to fault in, as in the paper: "Only the diffs
+        present locally are sent.  Other diffs cause an access miss on the
+        acquirer and are faulted in."
+        """
+        if (await_donations and req is not None
+                and any(e.access_type.fetches for e in entries)):
+            expected = set()
+            for p, marks in req.page_marks.items():
+                for (w, i) in self.page_notices.get(p, []):
+                    if w != self.pid and i > marks[w]:
+                        expected.add((w, i, p))
+            while not all(k in self.diff_store for k in expected):
+                self.proc.wait()
+        for e in entries:
+            if e.fallback:
+                # Adaptive fallback: a full post-sync Validate.
+                self.validate(e.sections, e.access_type,
+                              asynchronous=e.asynchronous)
+                continue
+            pages = sorted({p for s in e.sections
+                            for p in self.layout.pages_of(s)})
+            if e.access_type.fetches:
+                for p in pages:
+                    if self.pages[p].valid:
+                        continue
+                    needed = self._needed_notices(p)
+                    if all((w, i, p) in self.diff_store
+                           for (w, i) in needed):
+                        self._apply_page(p, needed)
+            self._apply_validate_perms(e.sections, e.access_type)
+
+    def _apply_validate_perms(self, sections: Sequence[Section],
+                              access_type: AccessType) -> None:
+        with self._atomic():
+            self._apply_validate_perms_inner(sections, access_type)
+
+    def _apply_validate_perms_inner(self, sections: Sequence[Section],
+                                    access_type: AccessType) -> None:
+        pages = sorted({p for s in sections
+                        for p in self.layout.pages_of(s)})
+        if access_type is AccessType.READ:
+            protect = [p for p in pages if self.pages[p].write_enabled]
+            for p in protect:
+                self.pages[p].write_enabled = False
+            self._charge_protect_run(protect)
+            return
+        if access_type.overwrites:
+            fully: Set[int] = set()
+            for s in sections:
+                fully |= self.layout.pages_fully_covered(s)
+            enable = []
+            for p in pages:
+                meta = self.pages[p]
+                if p in fully:
+                    if (access_type is AccessType.READ_WRITE_ALL
+                            and not meta.valid):
+                        # The piggy-backed fetch did not deliver every
+                        # diff for this page: it must fault in normally
+                        # before being read, so it cannot be marked
+                        # overwrite/valid here.
+                        continue
+                    self._flush_undiffed(p)
+                    if not meta.write_enabled:
+                        enable.append(p)
+                        meta.write_enabled = True
+                    meta.twin = None
+                    meta.overwrite = True
+                    meta.valid = True
+                    meta.dirty = True
+                    self.dirty.add(p)
+                else:
+                    was = meta.write_enabled
+                    self._enable_with_twin(p, batched=True)
+                    if not was:
+                        enable.append(p)
+            self._charge_protect_run(enable)
+            return
+        # WRITE / READ_WRITE: keep consistency armed but pre-pay it.
+        enable = [p for p in pages if not self.pages[p].write_enabled]
+        for p in enable:
+            self._enable_with_twin(p, batched=True)
+        self._charge_protect_run(enable)
+
+    def _enable_with_twin(self, page: int, batched: bool = False) -> None:
+        meta = self.pages[page]
+        if meta.write_enabled:
+            return
+        if not (meta.dirty and (meta.twin is not None or meta.overwrite)):
+            self._flush_undiffed(page)
+            meta.twin = self.image.page(page).copy()
+            self.stats.t_twin += self.cfg.twin_cost
+            self._charge(self.cfg.twin_cost)
+            self.stats.twins_created += 1
+        if not batched:
+            self._charge_protect(page)
+        meta.write_enabled = True
+        meta.dirty = True
+        self.dirty.add(page)
+
+    def _drain_async_plans(self) -> None:
+        """Complete outstanding asynchronous operations.
+
+        Called on entry to every synchronization operation: an
+        asynchronous plan computed before an acquire references the
+        pre-acquire notice state, so letting it complete after new write
+        notices arrive would mark stale pages valid.
+        """
+        while self._async_push_plans:
+            plan = self._async_push_plans[0]
+            self._complete_async_covering(next(iter(plan.pages)))
+        while self._async_plans:
+            plan = self._async_plans[0]
+            self._complete_async_covering(next(iter(plan.pages)))
+
+    def _complete_async_covering(self, page: int) -> bool:
+        """Finish the asynchronous Validate/Push covering ``page``."""
+        for i, plan in enumerate(self._async_push_plans):
+            if page in plan.pages:
+                del self._async_push_plans[i]
+                self._receive_push(plan.senders, plan.round_tag)
+                return True
+        for i, plan in enumerate(self._async_plans):
+            if page in plan.pages:
+                del self._async_plans[i]
+                self._recv_diff_responses(plan.expected)
+                for p in plan.fetch_pages:
+                    self._apply_page(p, plan.needed_by_page.get(p, []))
+                    self.pages[p].valid = True
+                self._apply_validate_perms(plan.perm_sections,
+                                           plan.access_type)
+                return True
+        return False
+
+    # ==================================================================
+    # Locks (distributed queue with manager forwarding).
+    # ==================================================================
+
+    def lock_acquire(self, lid: int) -> None:
+        self.stats.lock_acquires += 1
+        self._drain_async_plans()
+        sreq, wsync = self._take_wsync_request()
+        if self._has_token(lid) and lid not in self.lock_held:
+            # Re-acquiring the lock we released last: purely local.
+            self._charge(self.cfg.local_lock_cost)
+            self.stats.lock_local_acquires += 1
+            self.lock_held.add(lid)
+            self._complete_wsync(wsync)
+            return
+        manager = lid % self.nprocs
+        size = (8 + VC_ENTRY_BYTES * self.nprocs
+                + (sreq.wire_bytes() if sreq else 0))
+        if manager == self.pid:
+            self._charge(self.cfg.lock_service)
+            self._route_lock_request(lid, self.pid, self._vc_tuple(), sreq)
+        else:
+            self.ep.send(manager, "lock_req",
+                         payload=(lid, self.pid, self._vc_tuple(), sreq),
+                         size=size)
+        t0 = self.sys.engine.now
+        msg = self.ep.recv(kind="lock_grant", tag=lid)
+        self.stats.t_lock_wait += self.sys.engine.now - t0
+        granter_vc, recs, donated = msg.payload
+        self._store_diffs(donated)
+        self.apply_notices(recs, granter_vc)
+        self.lock_token[lid] = True
+        self.lock_held.add(lid)
+        self._complete_wsync(wsync)
+
+    def lock_release(self, lid: int) -> None:
+        if lid not in self.lock_held:
+            raise ProtocolError(f"P{self.pid} releasing unheld lock {lid}")
+        self.end_interval()
+        self.lock_held.discard(lid)
+        pending = self.lock_pending.get(lid)
+        if pending:
+            requester, rvc, sreq = pending.pop(0)
+            self._grant_lock(lid, requester, rvc, sreq)
+
+    def _h_lock_req(self, msg: Message) -> None:
+        lid, requester, rvc, sreq = msg.payload
+        self._charge(self.cfg.lock_service)
+        self._route_lock_request(lid, requester, rvc, sreq)
+
+    def _route_lock_request(self, lid: int, requester: int,
+                            rvc: Tuple[int, ...],
+                            sreq: Optional[SyncFetchRequest]) -> None:
+        tail = self.lock_tail.get(lid, lid % self.nprocs)
+        self.lock_tail[lid] = requester
+        if tail == self.pid:
+            self._give_or_queue(lid, requester, rvc, sreq)
+        else:
+            size = (8 + VC_ENTRY_BYTES * self.nprocs
+                    + (sreq.wire_bytes() if sreq else 0))
+            self.ep.send(tail, "lock_fwd",
+                         payload=(lid, requester, rvc, sreq), size=size)
+
+    def _h_lock_fwd(self, msg: Message) -> None:
+        lid, requester, rvc, sreq = msg.payload
+        self._charge(self.cfg.lock_service)
+        self._give_or_queue(lid, requester, rvc, sreq)
+
+    def _give_or_queue(self, lid: int, requester: int,
+                       rvc: Tuple[int, ...],
+                       sreq: Optional[SyncFetchRequest]) -> None:
+        if self._has_token(lid) and lid not in self.lock_held:
+            self._grant_lock(lid, requester, rvc, sreq)
+        else:
+            self.lock_pending.setdefault(lid, []).append(
+                (requester, rvc, sreq))
+
+    def _grant_lock(self, lid: int, requester: int, rvc: Tuple[int, ...],
+                    sreq: Optional[SyncFetchRequest]) -> None:
+        recs = self._intervals_after(rvc)
+        donated: List[Diff] = []
+        if sreq is not None:
+            donated = self._collect_donation(sreq)
+        size = (VC_ENTRY_BYTES * self.nprocs + interval_wire_bytes(recs)
+                + diff_payload_bytes(donated))
+        self.ep.send(requester, "lock_grant",
+                     payload=(self._vc_tuple(), tuple(recs), tuple(donated)),
+                     size=size, tag=lid)
+        self.lock_token[lid] = False
+
+    # ==================================================================
+    # Barrier (centralized master, notices merged and redistributed).
+    # ==================================================================
+
+    def barrier(self) -> None:
+        self.stats.barriers += 1
+        self._drain_async_plans()
+        sreq, wsync = self._take_wsync_request()
+        self.end_interval()
+        if self.nprocs == 1:
+            self._complete_wsync(wsync)
+            return
+        if self.pid == self.master_pid:
+            self._barrier_box[self.pid] = (self._vc_tuple(), (), sreq)
+            t0 = self.sys.engine.now
+            while len(self._barrier_box) < self.nprocs:
+                self.proc.wait()
+            self.stats.t_barrier_wait += self.sys.engine.now - t0
+            self._barrier_finish()
+        else:
+            recs = self._intervals_after(self.master_seen_vc)
+            size = (VC_ENTRY_BYTES * self.nprocs + interval_wire_bytes(recs)
+                    + (sreq.wire_bytes() if sreq else 0))
+            self.ep.send(self.master_pid, "barrier_arrive",
+                         payload=(self.pid, self._vc_tuple(), tuple(recs),
+                                  sreq),
+                         size=size)
+            t0 = self.sys.engine.now
+            msg = self.ep.recv(kind="barrier_depart")
+            self.stats.t_barrier_wait += self.sys.engine.now - t0
+            master_vc, recs, sreqs, gc_now = msg.payload
+            self.apply_notices(recs, master_vc)
+            self.master_seen_vc = list(master_vc)
+            self._donate_for_requests(sreqs)
+            if gc_now:
+                self._gc_validate()
+                self.ep.send(self.master_pid, "gc_done", size=0)
+                self.ep.recv(kind="gc_discard")
+                self._gc_discard()
+        self._complete_wsync(wsync, sreq, await_donations=True)
+
+    def _h_barrier_arrive(self, msg: Message) -> None:
+        pid, vc, recs, sreq = msg.payload
+        self._charge(self.cfg.barrier_arrival_service)
+        self._barrier_box[pid] = (vc, recs, sreq)
+        if len(self._barrier_box) == self.nprocs:
+            self.proc.wake()
+
+    def _barrier_finish(self) -> None:
+        """Master, process context: merge notices, send departures."""
+        box, self._barrier_box = self._barrier_box, {}
+        for q in sorted(box):
+            if q == self.pid:
+                continue
+            qvc, recs, _ = box[q]
+            self.apply_notices(recs, qvc)
+        sreqs = tuple(entry[2] for _, entry in sorted(box.items())
+                      if entry[2] is not None)
+        gc_now = (self.gc_threshold is not None
+                  and len(self.intervals) >= self.gc_threshold)
+        for q in sorted(box):
+            if q == self.pid:
+                continue
+            qvc = box[q][0]
+            recs = self._intervals_after(qvc)
+            size = (VC_ENTRY_BYTES * self.nprocs
+                    + interval_wire_bytes(recs)
+                    + sum(r.wire_bytes() for r in sreqs))
+            self.ep.send(q, "barrier_depart",
+                         payload=(self._vc_tuple(), tuple(recs), sreqs,
+                                  gc_now),
+                         size=size)
+        self._donate_for_requests(sreqs)
+        if gc_now:
+            # Two-phase collection: nobody discards until everyone has
+            # validated (a discarded diff could otherwise still be
+            # requested mid-collection).
+            self._gc_validate()
+            for q in range(self.nprocs):
+                if q != self.pid:
+                    self.ep.recv(kind="gc_done", src=q)
+            for q in range(self.nprocs):
+                if q != self.pid:
+                    self.ep.send(q, "gc_discard", size=0)
+            self._gc_discard()
+
+    # ==================================================================
+    # Sync+data merge: diff donation (paper Sections 3.2.1 / 3.3).
+    # ==================================================================
+
+    def _collect_donation(self, sreq: SyncFetchRequest,
+                          own_only: bool = False) -> List[Diff]:
+        """Diffs I hold that ``sreq``'s requester is missing.
+
+        Charges the page-list scan cost even when nothing is found — this
+        is the extra overhead that makes sync+data merge a loss for large
+        page lists (IS), per Section 3.3.  With ``own_only`` (the barrier
+        path) only diffs of this processor's own intervals are donated, so
+        the requester can predict exactly which diffs will arrive.
+        """
+        self._charge(self.cfg.sync_merge_scan_per_page
+                     * len(sreq.page_marks))
+        donated: List[Diff] = []
+        for p, marks in sreq.page_marks.items():
+            for key in self.page_notices.get(p, []):
+                w, i = key
+                if own_only and w != self.pid:
+                    continue
+                if i <= marks[w]:
+                    continue    # requester already applied it
+                dkey = (w, i, p)
+                diff = self.diff_store.get(dkey)
+                if diff is None and w == self.pid:
+                    diff = self._get_or_make_diff(p, i)
+                if diff is not None:
+                    donated.append(diff)
+        return donated
+
+    def _donate_for_requests(self, sreqs) -> None:
+        by_requester: Dict[int, List[Diff]] = {}
+        for sreq in sreqs:
+            if sreq.requester == self.pid:
+                continue
+            diffs = self._collect_donation(sreq, own_only=True)
+            if diffs:
+                by_requester[sreq.requester] = diffs
+        if not by_requester:
+            return
+        # Identical donations to several requesters broadcast cheaply.
+        groups: Dict[tuple, List[int]] = {}
+        for req, diffs in by_requester.items():
+            sig = tuple(sorted((d.writer, d.interval, d.page)
+                               for d in diffs))
+            groups.setdefault(sig, []).append(req)
+        for sig, requesters in groups.items():
+            diffs = by_requester[requesters[0]]
+            size = diff_payload_bytes(diffs)
+            for j, req in enumerate(sorted(requesters)):
+                cost = (None if j == 0
+                        else self.cfg.bcast_extra_per_dest)
+                self.ep.send(req, "diff_donate", payload=tuple(diffs),
+                             size=size, send_cost=cost)
+
+    # ==================================================================
+    # Push (paper Section 3.1.2).
+    # ==================================================================
+
+    def push(self, read_sections: Sequence[Sequence[Section]],
+             write_sections: Sequence[Sequence[Section]],
+             asynchronous: bool = False) -> None:
+        """Replace a barrier by point-to-point data exchange.
+
+        ``read_sections[q]`` / ``write_sections[q]`` give, for every
+        processor q, the sections q reads after / wrote before the
+        eliminated barrier.  Consistency is guaranteed only for the
+        exchanged intersections.  With ``asynchronous`` the receives are
+        deferred to the first page fault on an expected page.
+        """
+        self.stats.pushes += 1
+        rec = self.end_interval()
+        index = rec.index if rec is not None else None
+        self._push_round += 1
+        round_tag = self._push_round
+        mine_w = write_sections[self.pid]
+        mine_r = read_sections[self.pid]
+        for q in range(self.nprocs):
+            if q == self.pid:
+                continue
+            parts = self._intersect_lists(mine_w, read_sections[q])
+            if not parts:
+                continue
+            payload = []
+            size = 16
+            for sec in parts:
+                data = self.image.section_view(sec).copy()
+                payload.append((sec, data))
+                size += self.layout.section_nbytes(sec)
+            self.ep.send(q, "push_data", payload=(index, tuple(payload)),
+                         size=size, tag=round_tag)
+        if asynchronous:
+            senders = []
+            pages: Set[int] = set()
+            for q in range(self.nprocs):
+                if q == self.pid:
+                    continue
+                parts = self._intersect_lists(write_sections[q], mine_r)
+                if parts:
+                    senders.append(q)
+                    for sec in parts:
+                        # Expected pages must count as unreadable until
+                        # the data lands (extra protection, as the paper
+                        # notes for asynchronous operation).
+                        for p in self.layout.pages_of(sec):
+                            pages.add(p)
+                            self.pages[p].valid = False
+            if senders:
+                self._async_push_plans.append(
+                    AsyncPushPlan(round_tag, senders, pages))
+            return
+        senders = [q for q in range(self.nprocs)
+                   if q != self.pid
+                   and self._intersect_lists(write_sections[q], mine_r)]
+        self._receive_push(senders, round_tag)
+
+    def _receive_push(self, senders: Sequence[int],
+                      round_tag: int) -> None:
+        if not senders:
+            return
+        t0 = self.sys.engine.now
+        for q in senders:
+            msg = self.ep.recv(kind="push_data", src=q, tag=round_tag)
+            sender_index, payload = msg.payload
+            for sec, data in payload:
+                self.image.section_view(sec)[...] = data
+                self._sync_twins_with_image(sec)
+                # The pushed bytes are the newest value of this section;
+                # the compiler guarantees nothing else on these pages is
+                # read before the next global synchronization.  Mark the
+                # pages valid and subsume every notice we know of -- a
+                # later fault must not re-apply older diffs on top.
+                for p in self.layout.pages_of(sec):
+                    meta = self.pages[p]
+                    meta.valid = True
+                    for (w, i) in self.page_notices.get(p, []):
+                        self.applied.add((w, i, p))
+                    if sender_index is not None:
+                        self.applied.add((q, sender_index, p))
+
+    # ==================================================================
+    # Garbage collection (TreadMarks collects at barriers).
+    # ==================================================================
+
+    def _gc_validate(self) -> None:
+        """GC phase 1: bring every stale page up to date.
+
+        After a barrier every processor knows every interval, so once
+        the invalid pages are validated (a realistic burst of diff
+        traffic — this is why TreadMarks collects rarely) no diff will
+        ever be needed again.
+        """
+        self.gc_rounds += 1
+        # Outstanding asynchronous Validates/Pushes must complete first:
+        # their plans reference records that phase 2 will discard.
+        self._drain_async_plans()
+        stale = [p for p in range(self.layout.npages)
+                 if not self.pages[p].valid and self._needed_notices(p)]
+        if stale:
+            self._fetch_and_apply(stale)
+
+    def _gc_discard(self) -> None:
+        """GC phase 2: drop all protocol history (after the rendezvous:
+        every processor has validated, nothing can be requested).
+
+        Twins of still-undiffed intervals survive: a later local write
+        fault flushes them into (now unrequestable, but harmless) diffs.
+        """
+        self.intervals.clear()
+        self._by_writer = [[] for _ in range(self.nprocs)]
+        self.page_notices.clear()
+        self.applied.clear()
+        self.diff_store.clear()
+        for meta in self.pages:
+            meta.valid = True
+
+    @staticmethod
+    def _intersect_lists(writes: Sequence[Section],
+                         reads: Sequence[Section]) -> List[Section]:
+        out: List[Section] = []
+        for w in writes:
+            for r in reads:
+                inter = w.intersect(r)
+                if inter is not None and not inter.empty:
+                    out.append(inter)
+        return out
+
+    def _sync_twins_with_image(self, section: Section) -> None:
+        """Copy freshly-received bytes into any live twins they overlap."""
+        ps = self.layout.page_size
+        for start, stop in self.layout.byte_ranges(section):
+            for p in range(start // ps, (stop - 1) // ps + 1):
+                twin = self.pages[p].twin
+                if twin is None:
+                    continue
+                lo = max(start, p * ps)
+                hi = min(stop, (p + 1) * ps)
+                twin[lo - p * ps:hi - p * ps] = self.image.buf[lo:hi]

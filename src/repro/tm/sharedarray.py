@@ -1,0 +1,120 @@
+"""Application-facing shared arrays with software access detection.
+
+``SharedArray`` is the load/store interface of the DSM.  Every read or
+write passes a page-granularity state check (:meth:`TmNode.ensure_read` /
+:meth:`TmNode.ensure_write`), which triggers the same protocol actions a
+hardware page fault triggers in real TreadMarks.  Accesses accept numpy
+style keys (ints and slices) or explicit :class:`Section` objects, and the
+data itself lives in the processor's private byte image, so numpy
+vectorized operations work at full speed between faults.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import LayoutError
+from repro.memory.section import Section
+
+Key = Union[int, slice, Tuple[Union[int, slice], ...]]
+
+
+class SharedArray:
+    """One shared array as seen by one processor."""
+
+    def __init__(self, node, name: str) -> None:
+        self.node = node
+        self.name = name
+        self.info = node.layout.info(name)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.info.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.info.dtype
+
+    # ------------------------------------------------------------------
+
+    def _key_to_section(self, key: Key):
+        """Translate a numpy-style key into a section.
+
+        Returns ``(section, int_axes)``: ``int_axes`` lists the axes that
+        were indexed with an integer (numpy drops those dimensions).
+        """
+        if not isinstance(key, tuple):
+            key = (key,)
+        if len(key) != len(self.shape):
+            raise LayoutError(
+                f"{self.name}: key {key!r} has wrong rank for "
+                f"shape {self.shape}")
+        dims = []
+        int_axes = []
+        for axis, (k, extent) in enumerate(zip(key, self.shape)):
+            if isinstance(k, (int, np.integer)):
+                i = int(k)
+                if i < 0:
+                    i += extent
+                dims.append((i, i, 1))
+                int_axes.append(axis)
+            elif isinstance(k, slice):
+                lo, hi, step = k.indices(extent)
+                dims.append((lo, hi - 1, step))  # inclusive upper bound
+            else:
+                raise LayoutError(f"unsupported key component {k!r}")
+        return Section(self.name, tuple(dims)), int_axes
+
+    def section(self, *dims: Sequence[int]) -> Section:
+        """Build a section of this array from ``(lo, hi[, step])`` dims."""
+        return Section.of(self.name, *dims)
+
+    # ------------------------------------------------------------------
+
+    def read(self, section: Section) -> np.ndarray:
+        """Readable view of ``section`` (faults invalid pages in)."""
+        self.node.ensure_read(self.node.layout.pages_of(section))
+        return self.node.image.section_view(section)
+
+    def write(self, section: Section, values) -> None:
+        """Store ``values`` into ``section`` (write-faults as needed)."""
+        self.node.ensure_write(self.node.layout.pages_of(section))
+        self.node.image.section_view(section)[...] = values
+
+    def write_view(self, section: Section) -> np.ndarray:
+        """Writable view of ``section`` (no read fault; stale bytes may
+        remain outside what the caller overwrites)."""
+        self.node.ensure_write(self.node.layout.pages_of(section))
+        return self.node.image.section_view(section)
+
+    def rmw(self, section: Section, fn) -> None:
+        """Read-modify-write ``section`` via ``fn(view)`` in place."""
+        pages = self.node.layout.pages_of(section)
+        self.node.ensure_read(pages)
+        self.node.ensure_write(pages)
+        view = self.node.image.section_view(section)
+        fn(view)
+
+    # ------------------------------------------------------------------
+
+    def __getitem__(self, key: Key):
+        section, int_axes = self._key_to_section(key)
+        view = self.read(section)
+        if len(int_axes) == len(self.shape):
+            return view.reshape(()).item()
+        if int_axes:
+            view = np.squeeze(view, axis=tuple(int_axes))
+        return view
+
+    def __setitem__(self, key: Key, values) -> None:
+        section, int_axes = self._key_to_section(key)
+        if int_axes and np.ndim(values) > 0:
+            values = np.expand_dims(np.asarray(values),
+                                    axis=tuple(int_axes))
+        self.write(section, values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<SharedArray {self.name} shape={self.shape} "
+                f"P{self.node.pid}>")

@@ -1,0 +1,80 @@
+"""Per-processor DSM statistics (Table 2's columns come from these)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class TmStats:
+    """Counters for one processor's consistency activity."""
+
+    read_faults: int = 0
+    write_faults: int = 0
+    protect_ops: int = 0
+    twins_created: int = 0
+    diffs_created: int = 0
+    diffs_applied: int = 0
+    diff_bytes_applied: int = 0
+    full_pages_served: int = 0
+    lock_acquires: int = 0
+    lock_local_acquires: int = 0
+    barriers: int = 0
+    validates: int = 0
+    pushes: int = 0
+    invalidations: int = 0
+
+    # --- simulated-time breakdown (microseconds) ----------------------
+    #: Application compute charged through the runtime.
+    t_compute: float = 0.0
+    #: CPU in mprotect calls and fault service.
+    t_protect: float = 0.0
+    #: CPU twinning pages.
+    t_twin: float = 0.0
+    #: CPU creating and applying diffs.
+    t_diff: float = 0.0
+    #: Wall time blocked in barriers (arrival to departure).
+    t_barrier_wait: float = 0.0
+    #: Wall time blocked acquiring locks.
+    t_lock_wait: float = 0.0
+    #: Wall time blocked waiting for diff responses / push data.
+    t_fetch_wait: float = 0.0
+
+    @property
+    def segv(self) -> int:
+        """Total page faults (the paper's "segv" column)."""
+        return self.read_faults + self.write_faults
+
+    def add(self, other: "TmStats") -> "TmStats":
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name)
+                    + getattr(other, f.name))
+        return self
+
+    def breakdown(self, total_us: float) -> dict:
+        """Fractions of ``total_us`` per category; 'other' is protocol
+        CPU, message overheads and idle not captured elsewhere."""
+        cats = {
+            "compute": self.t_compute,
+            "protect": self.t_protect,
+            "twin": self.t_twin,
+            "diff": self.t_diff,
+            "barrier": self.t_barrier_wait,
+            "lock": self.t_lock_wait,
+            "fetch": self.t_fetch_wait,
+        }
+        out = {k: v / total_us for k, v in cats.items()}
+        out["other"] = max(0.0, 1.0 - sum(out.values()))
+        return out
+
+    @classmethod
+    def total(cls, many) -> "TmStats":
+        out = cls()
+        for s in many:
+            out.add(s)
+        return out
+
+    def as_dict(self) -> dict:
+        d = {f.name: getattr(self, f.name) for f in fields(self)}
+        d["segv"] = self.segv
+        return d

@@ -1,0 +1,134 @@
+"""Wiring: engine + network + one TmNode per simulated processor.
+
+Typical use::
+
+    layout = SharedLayout()
+    layout.add_array("b", (1024, 1024))
+
+    def main(node):
+        b = node.array("b")
+        ...compute, node.barrier(), node.lock_acquire(0)...
+
+    system = TmSystem(nprocs=8, layout=layout)
+    result = system.run(main)
+    print(result.time, result.stats.segv, result.messages)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional
+
+from repro.machine.config import MachineConfig
+from repro.memory.layout import MemoryImage, SharedLayout
+from repro.tm.diffs import apply_diff
+from repro.net.network import Network
+from repro.net.stats import NetStats
+from repro.sim.engine import Engine
+from repro.tm.node import TmNode
+from repro.tm.sharedarray import SharedArray
+from repro.tm.stats import TmStats
+
+
+@dataclass
+class RunResult:
+    """Outcome of one DSM run: simulated time plus counters."""
+
+    time: float                 # microseconds of simulated execution
+    stats: TmStats              # aggregated over all processors
+    per_proc: List[TmStats]
+    net: NetStats
+    returns: list               # per-processor return values
+
+    @property
+    def messages(self) -> int:
+        return self.net.messages
+
+    @property
+    def data_bytes(self) -> int:
+        return self.net.bytes
+
+
+class TmSystem:
+    """A simulated cluster running the TreadMarks DSM."""
+
+    def __init__(self, nprocs: int, layout: SharedLayout,
+                 config: Optional[MachineConfig] = None,
+                 gc_threshold: Optional[int] = None,
+                 eager_diffing: bool = False) -> None:
+        self.nprocs = nprocs
+        self.layout = layout
+        #: Interval-record count at which the barrier master triggers a
+        #: garbage-collection round (None: never — fine for short runs).
+        self.gc_threshold = gc_threshold
+        #: Ablation: encode diffs at interval end rather than lazily.
+        self.eager_diffing = eager_diffing
+        base = config or MachineConfig()
+        self.config = base.with_nprocs(nprocs)
+        self.engine = Engine()
+        self.net = Network(self.engine, self.config, nprocs)
+        self.nodes: List[TmNode] = []
+
+    def run(self, main: Callable[[TmNode], object]) -> RunResult:
+        """Run ``main(node)`` on every processor to completion.
+
+        An implicit *exit barrier* (TreadMarks' ``Tmk_exit``) runs after
+        ``main`` returns: it restores full consistency at termination, so
+        the compiler may replace even the last barrier of a program's
+        steady state with a Push.
+        """
+
+        def wrapped(node):
+            result = main(node)
+            node.barrier()
+            return result
+
+        procs = []
+        for pid in range(self.nprocs):
+            proc = self.engine.add_process(
+                f"P{pid}", lambda p: wrapped(self.nodes[p.pid]))
+            self.net.attach(proc)
+            procs.append(proc)
+        for proc in procs:
+            node = TmNode(self, proc, self.net.endpoint(proc.pid))
+            self.nodes.append(node)
+        self.engine.run()
+        per_proc = [replace(n.stats) for n in self.nodes]
+        return RunResult(
+            time=self.engine.now,
+            stats=TmStats.total(per_proc),
+            per_proc=per_proc,
+            net=self.net.stats,
+            returns=[p.result for p in procs],
+        )
+
+    def snapshot(self) -> dict:
+        """Reconcile the final global state of every shared array.
+
+        Runs *offline* (no simulated time or statistics): takes processor
+        0's image and applies every write notice it knows about, pulling
+        missing diffs straight out of the other nodes.  Programs should
+        end with a barrier so that processor 0 knows all intervals.
+        """
+        node0 = self.nodes[0]
+        for node in self.nodes:
+            node.offline = True
+        try:
+            image = MemoryImage(self.layout)
+            image.buf[:] = node0.image.buf
+            for page in range(self.layout.npages):
+                needed = node0._needed_notices(page)
+                recs = sorted((node0.intervals[k] for k in needed),
+                              key=lambda r: r.order_key())
+                for rec in recs:
+                    diff = node0.diff_store.get(
+                        (rec.writer, rec.index, page))
+                    if diff is None:
+                        diff = self.nodes[rec.writer]._get_or_make_diff(
+                            page, rec.index)
+                    apply_diff(diff, image.page(page))
+            return {name: image.view(name).copy()
+                    for name in self.layout.arrays}
+        finally:
+            for node in self.nodes:
+                node.offline = False

@@ -1,0 +1,49 @@
+"""Smoke tests: the shipped examples must run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+
+
+def test_custom_app_runs():
+    proc = run_example("custom_app.py", "4")
+    assert proc.returncode == 0, proc.stderr
+    assert "correct=True" in proc.stdout
+
+
+def test_compiler_explorer_runs_for_every_app():
+    for app in ("jacobi", "is", "gauss"):
+        proc = run_example("compiler_explorer.py", app, "merge")
+        assert proc.returncode == 0, proc.stderr
+        assert "Access analysis" in proc.stdout
+        assert "Transformed program" in proc.stdout
+
+
+def test_compiler_explorer_shows_jacobi_push():
+    proc = run_example("compiler_explorer.py", "jacobi", "push")
+    assert "call Push(" in proc.stdout
+    assert "WRITE_ALL" in proc.stdout
+
+
+@pytest.mark.slow
+def test_quickstart_runs():
+    proc = run_example("quickstart.py", "4", timeout=420)
+    assert proc.returncode == 0, proc.stderr
+    assert "numpy-reference answer" in proc.stdout
+
+
+def test_protocol_trace_example():
+    proc = run_example("protocol_trace.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "final counter: 6.0" in proc.stdout
+    assert "lock_grant" in proc.stdout

@@ -1,0 +1,87 @@
+"""Analytic message-count checks from the paper's Section 2.
+
+For Jacobi with n processors and m pages per boundary column the paper
+derives, per iteration:
+
+* base TreadMarks: 2(n-1) messages at each barrier plus 4m(n-1) diff
+  request/response pairs for the invalidated boundary pages;
+* message passing: just 2(n-1) boundary-exchange messages.
+"""
+
+import pytest
+
+from repro.apps import get_app
+from repro.harness.modes import OPT_LEVELS
+from repro.harness.runner import run_dsm, run_mp
+
+
+def jacobi_params(M, N, iters):
+    return {"M": M, "N": N, "iters": iters}
+
+
+def run_jacobi_dsm(nprocs, M, N, iters, opt=None, page_size=256):
+    app = get_app("jacobi")
+    prog = app.build_program(jacobi_params(M, N, iters), nprocs)
+    return run_dsm(prog, nprocs=nprocs, opt=opt, page_size=page_size,
+                   snapshot=False)
+
+
+def test_base_jacobi_message_formula():
+    """Per-iteration messages match the paper's 2*2(n-1) + 4m(n-1)."""
+    n = 4
+    M, N = 64, 64          # column = 512 bytes = m=2 pages of 256
+    m = (M * 8) // 256
+    it1 = run_jacobi_dsm(n, M, N, 1)
+    it3 = run_jacobi_dsm(n, M, N, 3)
+    per_iter = (it3.run.messages - it1.run.messages) / 2
+    expected = 2 * 2 * (n - 1) + 4 * m * (n - 1)
+    assert per_iter == pytest.approx(expected, rel=0.05)
+
+
+def test_mp_jacobi_message_formula():
+    """Hand-coded Jacobi sends exactly 2(n-1) messages per iteration."""
+    app = get_app("jacobi")
+    n = 4
+    r1 = run_mp(app, jacobi_params(64, 64, 1), nprocs=n)
+    r3 = run_mp(app, jacobi_params(64, 64, 3), nprocs=n)
+    per_iter = (r3.run.messages - r1.run.messages) / 2
+    assert per_iter == 2 * (n - 1)
+
+
+def test_push_jacobi_replaces_barrier2():
+    """With Push, barrier(2) disappears: per-iteration messages become
+    2(n-1) push messages + 2(n-1) barrier(1) messages."""
+    n = 4
+    it1 = run_jacobi_dsm(n, 64, 64, 1, opt=OPT_LEVELS["push"])
+    it3 = run_jacobi_dsm(n, 64, 64, 3, opt=OPT_LEVELS["push"])
+    per_iter = (it3.run.messages - it1.run.messages) / 2
+    assert per_iter == pytest.approx(2 * (n - 1) + 2 * (n - 1), rel=0.05)
+
+
+def test_aggregation_halves_boundary_fetch_messages():
+    """One Validate per iteration replaces per-page fault traffic: the
+    4m(n-1) term collapses to 4(n-1) (one request/response per
+    neighbour pair) regardless of m."""
+    n = 4
+    M = 128                 # m = 4 pages per column at 256-byte pages
+    base1 = run_jacobi_dsm(n, M, 64, 1)
+    base3 = run_jacobi_dsm(n, M, 64, 3)
+    aggr1 = run_jacobi_dsm(n, M, 64, 1, opt=OPT_LEVELS["aggr"])
+    aggr3 = run_jacobi_dsm(n, M, 64, 3, opt=OPT_LEVELS["aggr"])
+    base_per_iter = (base3.run.messages - base1.run.messages) / 2
+    aggr_per_iter = (aggr3.run.messages - aggr1.run.messages) / 2
+    m = (M * 8) // 256
+    assert base_per_iter == pytest.approx(
+        2 * 2 * (n - 1) + 4 * m * (n - 1), rel=0.05)
+    assert aggr_per_iter == pytest.approx(
+        2 * 2 * (n - 1) + 4 * (n - 1), rel=0.05)
+
+
+def test_barrier_messages_scale_with_processors():
+    for n in (2, 4, 8):
+        res = run_jacobi_dsm(n, 64, 64, 1, page_size=256)
+        # Every barrier contributes 2(n-1): arrival + departure.
+        barriers = res.run.net.by_kind["barrier_arrive"]
+        departs = res.run.net.by_kind["barrier_depart"]
+        assert barriers == departs
+        assert barriers % (n - 1) == 0

@@ -1,0 +1,29 @@
+"""Tests for the cross-mode verification library."""
+
+from repro.apps import get_app
+from repro.harness.verify import verify_app
+
+
+def test_verify_app_jacobi():
+    report = verify_app(get_app("jacobi"), dataset="tiny", nprocs=4)
+    assert report.ok, str(report)
+    assert "dsm:push" in report.checked
+    assert "pvme" in report.checked and "xhpf" in report.checked
+
+
+def test_verify_app_is_includes_xhpf_refusal():
+    report = verify_app(get_app("is"), dataset="tiny", nprocs=4)
+    assert report.ok, str(report)
+    assert "xhpf" in report.checked
+
+
+def test_verify_app_with_gc():
+    report = verify_app(get_app("gauss"), dataset="tiny", nprocs=4,
+                        gc_threshold=32)
+    assert report.ok, str(report)
+
+
+def test_report_formatting():
+    report = verify_app(get_app("mgs"), dataset="tiny", nprocs=2)
+    text = str(report)
+    assert "OK" in text and "mgs" in text

@@ -1,0 +1,77 @@
+"""Property test: random lock-synchronized accumulation vs oracle.
+
+Each processor performs a random schedule of lock-protected additions to
+per-lock accumulator slots.  Whatever the interleaving the simulator
+chooses, mutual exclusion plus LRC must make the final sums exact, and
+the run must be deterministic.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import SharedLayout
+from repro.tm.system import TmSystem
+
+NLOCKS = 4
+SLOTS = 8   # elements per lock-protected region
+
+
+@st.composite
+def schedules(draw):
+    nprocs = draw(st.sampled_from([2, 3, 4]))
+    page_size = draw(st.sampled_from([64, 256]))
+    per_proc = []
+    for _ in range(nprocs):
+        n_ops = draw(st.integers(1, 6))
+        ops = [(draw(st.integers(0, NLOCKS - 1)),
+                draw(st.integers(0, SLOTS - 1)),
+                float(draw(st.integers(1, 9))))
+               for _ in range(n_ops)]
+        per_proc.append(ops)
+    return nprocs, page_size, per_proc
+
+
+def expected_totals(per_proc):
+    totals = np.zeros((NLOCKS, SLOTS))
+    for ops in per_proc:
+        for lid, slot, val in ops:
+            totals[lid, slot] += val
+    return totals
+
+
+def run(nprocs, page_size, per_proc):
+    layout = SharedLayout(page_size=page_size)
+    layout.add_array("acc", (SLOTS, NLOCKS))
+    system = TmSystem(nprocs=nprocs, layout=layout)
+
+    def main(node):
+        acc = node.array("acc")
+        for lid, slot, val in per_proc[node.pid]:
+            node.lock_acquire(lid)
+            acc[slot, lid] = acc[slot, lid] + val
+            node.lock_release(lid)
+        node.barrier()
+
+    res = system.run(main)
+    return system.snapshot()["acc"], res
+
+
+@given(schedules())
+@settings(max_examples=30, deadline=None)
+def test_lock_protected_sums_are_exact(case):
+    nprocs, page_size, per_proc = case
+    got, _ = run(nprocs, page_size, per_proc)
+    # acc is (SLOTS, NLOCKS); expected_totals returns (NLOCKS, SLOTS).
+    np.testing.assert_allclose(got, expected_totals(per_proc).T)
+
+
+@given(schedules())
+@settings(max_examples=10, deadline=None)
+def test_lock_runs_deterministic(case):
+    nprocs, page_size, per_proc = case
+    a1, r1 = run(nprocs, page_size, per_proc)
+    a2, r2 = run(nprocs, page_size, per_proc)
+    np.testing.assert_array_equal(a1, a2)
+    assert r1.time == r2.time
+    assert r1.messages == r2.messages

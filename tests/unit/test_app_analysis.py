@@ -1,0 +1,114 @@
+"""Per-application analysis checks for the apps not covered elsewhere."""
+
+from repro.apps import get_app
+from repro.compiler import analyze_program
+from repro.lang.nodes import Barrier, Loop, ProcCall
+
+
+def barriers_of(prog):
+    out = []
+
+    def walk(stmts):
+        for s in stmts:
+            if isinstance(s, Barrier):
+                out.append(s)
+            if isinstance(s, Loop):
+                walk(s.body)
+            if isinstance(s, ProcCall):
+                walk(s.body)
+
+    walk(prog.body)
+    return out
+
+
+class TestFftAnalysis:
+    def test_transpose_region_reads_rows_of_x(self):
+        prog = get_app("fft3d").program("tiny", 4)
+        res = analyze_program(prog)
+        b1 = next(b for b in barriers_of(prog) if b.label == "B1")
+        region = res.region_of(b1)
+        xs = region.summaries[("x", "")]
+        assert xs.read and not xs.unknown
+        (r,) = xs.read_parts
+        # dim0 is the partitioned row range; dims 1 and 2 full.
+        d1 = r.dims[1]
+        assert d1[0].is_const and d1[0].const == 0
+        assert d1[1].is_const and d1[1].const == 15
+
+    def test_y_written_whole_slab_exactly(self):
+        prog = get_app("fft3d").program("tiny", 4)
+        res = analyze_program(prog)
+        b1 = next(b for b in barriers_of(prog) if b.label == "B1")
+        region = res.region_of(b1)
+        ys = region.summaries[("y", "")]
+        assert ys.write
+        assert all(w.exact for w in ys.write_parts)
+
+
+class TestShallowAnalysis:
+    def test_proc_call_regions_exist(self):
+        prog = get_app("shallow").program("tiny", 4)
+        res = analyze_program(prog)
+        calls = []
+
+        def walk(stmts):
+            for s in stmts:
+                if isinstance(s, ProcCall):
+                    calls.append(s)
+                if isinstance(s, Loop):
+                    walk(s.body)
+                if isinstance(s, ProcCall):
+                    walk(s.body)
+
+        walk(prog.body)
+        assert {c.name for c in calls} == {"calc_fluxes", "calc_new",
+                                           "time_smooth"}
+        # Phase 1's call region writes the four flux arrays exactly.
+        calc1 = next(c for c in calls if c.name == "calc_fluxes")
+        region = res.region_of(calc1)
+        for arr in ("cu", "cv", "z", "h"):
+            summ = region.summaries[(arr, "")]
+            assert summ.write and not summ.unknown
+            (w,) = summ.write_parts
+            assert w.exact
+            # Full columns: the stencil rows + boundary rows union.
+            assert w.dims[0][0].const == 0
+            assert w.dims[0][1].const == 47
+
+    def test_regions_stop_at_call_boundaries(self):
+        prog = get_app("shallow").program("tiny", 4)
+        res = analyze_program(prog)
+        b1 = next(b for b in barriers_of(prog) if b.label == "B1")
+        region = res.region_of(b1)
+        # Barrier(1) is followed immediately by the calc_new call: the
+        # region ends there and contains no array accesses of its own.
+        assert not any(s.write or s.read
+                       for s in region.summary_list())
+        assert any(isinstance(f, ProcCall) for f in region.succ_fetches)
+
+
+class TestMgsAnalysis:
+    def test_curcol_write_is_exact_and_contiguous(self):
+        app = get_app("mgs")
+        prog = app.program("tiny", 4)
+        res = analyze_program(prog)
+        b0 = next(b for b in barriers_of(prog) if b.label == "B0")
+        region = res.region_of(b0)
+        # Owner-gated: find the curcol summary whatever its owner repr.
+        gated = [s for (arr, _), s in region.summaries.items()
+                 if arr == "curcol"]
+        assert gated
+        (w,) = gated[0].write_parts
+        assert w.exact and w.is_contiguous((48,))
+
+    def test_update_sections_strided(self):
+        prog = get_app("mgs").program("tiny", 4)
+        res = analyze_program(prog)
+        b1 = next(b for b in barriers_of(prog) if b.label == "B1")
+        region = res.region_of(b1)
+        a = region.summaries[("a", "")]
+        assert a.write
+        (w,) = a.write_parts
+        assert w.dims[1][2] == 4   # cyclic stride = nprocs
+        assert not w.is_contiguous((48, 48))
+

@@ -1,0 +1,152 @@
+"""Access-analysis tests, centred on the paper's Section 4.3 example."""
+
+import pytest
+
+from repro.apps.jacobi import APP as JACOBI
+from repro.apps.gauss import APP as GAUSS
+from repro.apps.is_sort import APP as IS
+from repro.compiler import analyze_program
+from repro.errors import CompileError
+from repro.lang import build as B
+from repro.lang.nodes import Acquire, ArrayDecl, Barrier, Loop, Program
+
+
+def find(stmts, pred, out):
+    for s in stmts:
+        if pred(s):
+            out.append(s)
+        if isinstance(s, Loop):
+            find(s.body, pred, out)
+    return out
+
+
+def barriers_of(prog):
+    return find(prog.body, lambda s: isinstance(s, Barrier), [])
+
+
+class TestJacobiSection43:
+    """The worked example of paper Section 4.3 (0-based here)."""
+
+    @pytest.fixture(scope="class")
+    def analysis(self):
+        prog = JACOBI.program("tiny", 4)
+        return prog, analyze_program(prog)
+
+    def region(self, analysis, label):
+        prog, res = analysis
+        b = next(x for x in barriers_of(prog) if x.label == label)
+        return b, res.region_of(b)
+
+    def test_region_b2_reads_widened_boundary(self, analysis):
+        _, region = self.region(analysis, "B2")
+        (summ,) = region.summary_list()
+        assert summ.array == "b"
+        assert summ.tags == {"read"}
+        (r,) = summ.read_parts
+        # Columns span [jlo-1, jhi+1]: the paper's [begin-1, end+1].
+        lo, hi, step = r.dims[1]
+        assert lo.const == -1 and hi.const == 1 and step == 1
+        # Rows cover the whole column (copy phase widened the hull).
+        rlo, rhi, _ = r.dims[0]
+        assert rlo.is_const and rlo.const == 0
+        assert rhi.is_const and rhi.const == 63
+
+    def test_region_b1_write_first(self, analysis):
+        _, region = self.region(analysis, "B1")
+        (summ,) = region.summary_list()
+        assert summ.tags == {"write", "write-first"}
+        (w,) = summ.write_parts
+        assert w.exact
+
+    def test_prec_relation(self, analysis):
+        prog, res = analysis
+        bars = {b.label: b for b in barriers_of(prog)}
+        prec_b2 = res.prec[id(bars["B2"])]
+        assert prec_b2 == [bars["B1"]]
+        prec_b1 = {getattr(p, "label", None)
+                   for p in res.prec[id(bars["B1"])]}
+        assert prec_b1 == {"B0", "B2"}
+
+    def test_region_b2_wraps_loop(self, analysis):
+        _, region = self.region(analysis, "B2")
+        labels = {f.label for f in region.succ_fetches}
+        assert labels == {"B1"}
+        assert region.reaches_end   # loop exit falls off the program
+
+    def test_private_array_not_summarized(self, analysis):
+        _, region = self.region(analysis, "B1")
+        arrays = {s.array for s in region.summary_list()}
+        assert "a" not in arrays    # a is private scratch
+
+
+class TestKillTracking:
+    def test_loop_carried_region_substitutes_loop_var(self):
+        """Accesses reached through a back edge see k+1, not k."""
+        prog = GAUSS.program("tiny", 4)
+        res = analyze_program(prog)
+        bars = barriers_of(prog)
+        b2 = next(b for b in bars if b.label == "B2")
+        region = res.region_of(b2)
+        summs = {s.array: s for s in region.summary_list()
+                 if s.owner is not None}
+        piv = summs["pivrow"]
+        (w,) = piv.write_parts
+        lo, hi, _ = w.dims[0]
+        # The pivot kernel of the *next* iteration writes pivrow[k+1].
+        assert lo.coef("k") == 1 and lo.const == 1
+
+    def test_shared_read_local_kills_dependents(self):
+        """Sections depending on a Local read from shared memory degrade
+        to unknown when the Local is inside the region."""
+        i = B.sym("i")
+        x = B.array_ref("x")
+        idx = B.array_ref("idx")
+        body = [
+            B.barrier("B0"),
+            B.local("r", idx(0)),
+            B.loop(i, 0, 7, [B.assign(x(B.sym("r") + i), 1.0)]),
+            B.barrier("B1"),
+        ]
+        prog = Program("t", [ArrayDecl("x", (64,)),
+                             ArrayDecl("idx", (8,))], body)
+        res = analyze_program(prog)
+        b0 = barriers_of(prog)[0]
+        region = res.region_of(b0)
+        xs = region.summaries[("x", "")]
+        assert xs.unknown
+
+
+class TestIsAnalysis:
+    def test_lock_region_gets_read_write_full_section(self):
+        prog = IS.program("tiny", 4)
+        res = analyze_program(prog)
+        acquires = find(prog.body, lambda s: isinstance(s, Acquire), [])
+        region = res.region_of(acquires[0])
+        summ = region.summaries[("shared_buckets", "")]
+        assert summ.tags == {"read", "write"}
+        (w,) = summ.write_parts
+        assert w.exact
+        (r,) = summ.read_parts
+        assert w.contains(r)
+
+    def test_indirect_detected(self):
+        prog = IS.program("tiny", 4)
+        res = analyze_program(prog)
+        assert res.has_indirect
+        assert res.has_locks
+
+
+def test_sync_inside_conditional_rejected():
+    body = [
+        B.when(B.sym("p").eq(0), [B.barrier("inner")]),
+    ]
+    prog = Program("bad", [ArrayDecl("x", (8,))], body)
+    with pytest.raises(CompileError):
+        analyze_program(prog)
+
+
+def test_entry_region_covers_initialization():
+    prog = JACOBI.program("tiny", 4)
+    res = analyze_program(prog)
+    summ = res.entry_region.summaries.get(("b", ""))
+    assert summ is not None and summ.write

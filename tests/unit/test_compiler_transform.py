@@ -1,0 +1,160 @@
+"""Tests of the Section 4.2 source-to-source transformation."""
+
+import pytest
+
+from repro.apps.jacobi import APP as JACOBI
+from repro.apps.fft3d import APP as FFT
+from repro.apps.gauss import APP as GAUSS
+from repro.apps.is_sort import APP as IS
+from repro.apps.shallow import APP as SHALLOW
+from repro.compiler import OptConfig, transform
+from repro.errors import CompileError
+from repro.lang.nodes import (Acquire, Barrier, Loop, ProcCall, PushStmt,
+                              ValidateStmt)
+from repro.rt.access import AccessType
+
+
+def collect(stmts, cls, out):
+    for s in stmts:
+        if isinstance(s, cls):
+            out.append(s)
+        if isinstance(s, Loop):
+            collect(s.body, cls, out)
+        if isinstance(s, ProcCall):
+            collect(s.body, cls, out)
+    return out
+
+
+FULL = OptConfig(push=True, sync_data_merge=False, name="full")
+MERGE = OptConfig(push=False, sync_data_merge=True, name="merge")
+AGGR_ONLY = OptConfig(consistency_elimination=False, name="aggr")
+
+
+class TestJacobi:
+    def test_barrier2_becomes_push(self):
+        prog = transform(JACOBI.program("tiny", 4), FULL)
+        pushes = collect(prog.body, PushStmt, [])
+        assert len(pushes) == 1
+        assert pushes[0].label == "B2"
+        barriers = [b.label for b in collect(prog.body, Barrier, [])]
+        assert "B2" not in barriers
+        assert "B1" in barriers and "B0" in barriers
+
+    def test_write_all_validate_after_b1(self):
+        prog = transform(JACOBI.program("tiny", 4), FULL)
+        validates = collect(prog.body, ValidateStmt, [])
+        write_alls = [v for v in validates
+                      if v.access is AccessType.WRITE_ALL]
+        assert len(write_alls) >= 1
+        (spec,) = write_alls[0].specs
+        assert spec.array == "b"
+
+    def test_no_consistency_elimination_without_flag(self):
+        prog = transform(JACOBI.program("tiny", 4), AGGR_ONLY)
+        validates = collect(prog.body, ValidateStmt, [])
+        assert validates
+        assert all(v.access.preserves_consistency for v in validates)
+
+    def test_merge_moves_fetching_validates_before_sync(self):
+        prog = transform(JACOBI.program("tiny", 4), MERGE)
+        validates = collect(prog.body, ValidateStmt, [])
+        assert any(v.w_sync for v in validates)
+        # WRITE_ALL has nothing to fetch: never merged.
+        assert all(not v.w_sync for v in validates
+                   if v.access is AccessType.WRITE_ALL)
+
+    def test_no_aggregation_no_validates(self):
+        prog = transform(JACOBI.program("tiny", 4),
+                         OptConfig(aggregation=False,
+                                   consistency_elimination=False,
+                                   name="off"))
+        assert collect(prog.body, ValidateStmt, []) == []
+        assert collect(prog.body, PushStmt, []) == []
+
+
+class TestFft:
+    def test_push_sites(self):
+        """All three iteration barriers are replaced (B3 degenerates to a
+        no-op exchange: each slab's reader is its own writer); the
+        implicit exit barrier restores consistency at termination."""
+        prog = transform(FFT.program("tiny", 4), FULL)
+        pushes = collect(prog.body, PushStmt, [])
+        assert {p.label for p in pushes} == {"B1", "B2", "B3"}
+        labels = [b.label for b in collect(prog.body, Barrier, [])]
+        assert labels == ["B0"]
+
+
+class TestGauss:
+    def test_no_push_for_cyclic_sections(self):
+        prog = transform(GAUSS.program("tiny", 4), FULL)
+        assert collect(prog.body, PushStmt, []) == []
+
+    def test_strided_writes_stay_consistency_preserving(self):
+        prog = transform(GAUSS.program("tiny", 4), FULL)
+        validates = collect(prog.body, ValidateStmt, [])
+        for v in validates:
+            for spec in v.specs:
+                if spec.array == "a" and not v.access.preserves_consistency:
+                    # _ALL types only on contiguous column sections.
+                    assert all(step == 1 for _, _, step in spec.dims)
+
+
+class TestShallow:
+    def test_validates_inside_procedures(self):
+        prog = transform(SHALLOW.program("tiny", 4), FULL)
+        procs = collect(prog.body, ProcCall, [])
+        assert procs
+        inner = []
+        for p in procs:
+            inner.extend(v for v in p.body if isinstance(v, ValidateStmt))
+        assert inner, "procedure entries should receive Validates"
+
+    def test_no_push_across_call_boundaries(self):
+        prog = transform(SHALLOW.program("tiny", 4), FULL)
+        assert collect(prog.body, PushStmt, []) == []
+
+
+class TestIs:
+    def test_read_write_all_at_lock(self):
+        prog = transform(IS.program("tiny", 4), FULL)
+        validates = collect(prog.body, ValidateStmt, [])
+        rwall = [v for v in validates
+                 if v.access is AccessType.READ_WRITE_ALL]
+        assert any(spec.array == "shared_buckets"
+                   for v in rwall for spec in v.specs)
+
+    def test_no_push_for_lock_program(self):
+        prog = transform(IS.program("tiny", 4), FULL)
+        assert collect(prog.body, PushStmt, []) == []
+
+    def test_rank_read_validated_despite_indirect_kernel(self):
+        """Partial analysis: the unknown-free shared_buckets read still
+        gets a Validate even though the kernel is indirect."""
+        prog = transform(IS.program("tiny", 4), FULL)
+        validates = collect(prog.body, ValidateStmt, [])
+        reads = [v for v in validates if v.access is AccessType.READ]
+        assert any(spec.array == "shared_buckets"
+                   for v in reads for spec in v.specs)
+
+
+def test_transform_rejects_already_transformed():
+    prog = transform(JACOBI.program("tiny", 4), FULL)
+    with pytest.raises(CompileError):
+        transform(prog, FULL)
+
+
+def test_transform_requires_config():
+    with pytest.raises(CompileError):
+        transform(JACOBI.program("tiny", 4), None)
+
+
+def test_async_flag_controls_validates():
+    sync = transform(JACOBI.program("tiny", 4),
+                     OptConfig(asynchronous=False, name="s"))
+    for v in collect(sync.body, ValidateStmt, []):
+        assert not v.asynchronous
+    async_ = transform(JACOBI.program("tiny", 4),
+                       OptConfig(asynchronous=True, name="a"))
+    fetching = [v for v in collect(async_.body, ValidateStmt, [])
+                if v.access.fetches]
+    assert fetching and all(v.asynchronous for v in fetching)

@@ -1,0 +1,115 @@
+"""Unit + property tests for the twin/diff machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tm.diffs import (Diff, apply_diff, diff_payload_bytes,
+                            full_page_diff, make_diff)
+
+PAGE = 128
+
+
+@st.composite
+def twin_and_writes(draw):
+    twin = np.array(draw(st.lists(
+        st.integers(0, 255), min_size=PAGE, max_size=PAGE)),
+        dtype=np.uint8)
+    current = twin.copy()
+    nwrites = draw(st.integers(0, 5))
+    for _ in range(nwrites):
+        off = draw(st.integers(0, PAGE - 1))
+        length = draw(st.integers(1, PAGE - off))
+        val = draw(st.integers(0, 255))
+        current[off:off + length] = val
+    return twin, current
+
+
+@given(twin_and_writes())
+@settings(max_examples=200)
+def test_make_apply_roundtrip(case):
+    twin, current = case
+    diff = make_diff(3, 0, 1, twin, current)
+    target = twin.copy()
+    apply_diff(diff, target)
+    np.testing.assert_array_equal(target, current)
+
+
+@given(twin_and_writes())
+@settings(max_examples=100)
+def test_diff_covers_exactly_changed_bytes(case):
+    twin, current = case
+    diff = make_diff(3, 0, 1, twin, current)
+    changed = int((twin != current).sum())
+    assert diff.payload_bytes == changed
+    # Runs are maximal: no two adjacent runs touch.
+    offs = sorted((off, len(data)) for off, data in diff.runs)
+    for (o1, l1), (o2, _) in zip(offs, offs[1:]):
+        assert o1 + l1 < o2
+
+
+@given(twin_and_writes(), twin_and_writes())
+@settings(max_examples=100)
+def test_concurrent_disjoint_diffs_merge(case_a, case_b):
+    """Multiple-writer: diffs from disjoint writes commute."""
+    twin, cur_a = case_a
+    _, cur_b_raw = case_b
+    # Make b's writes disjoint from a's by construction: apply b's
+    # changes only where a left the twin untouched.
+    mask_a = twin != cur_a
+    cur_b = twin.copy()
+    cur_b[~mask_a] = cur_b_raw[~mask_a]
+    da = make_diff(0, 0, 1, twin, cur_a)
+    db = make_diff(0, 1, 1, twin, cur_b)
+    t1 = twin.copy()
+    apply_diff(da, t1)
+    apply_diff(db, t1)
+    t2 = twin.copy()
+    apply_diff(db, t2)
+    apply_diff(da, t2)
+    np.testing.assert_array_equal(t1, t2)
+    expected = twin.copy()
+    expected[mask_a] = cur_a[mask_a]
+    expected[~mask_a] = cur_b[~mask_a]
+    np.testing.assert_array_equal(t1, expected)
+
+
+def test_empty_diff():
+    twin = np.zeros(PAGE, dtype=np.uint8)
+    diff = make_diff(0, 0, 1, twin, twin.copy())
+    assert diff.runs == ()
+    assert diff.payload_bytes == 0
+    target = np.ones(PAGE, dtype=np.uint8)
+    apply_diff(diff, target)
+    assert target.sum() == PAGE
+
+
+def test_full_page_diff():
+    current = np.arange(PAGE, dtype=np.uint8)
+    diff = full_page_diff(7, 2, 5, current)
+    assert diff.full
+    assert diff.payload_bytes == PAGE
+    target = np.zeros(PAGE, dtype=np.uint8)
+    apply_diff(diff, target)
+    np.testing.assert_array_equal(target, current)
+
+
+def test_wire_bytes_accounting():
+    twin = np.zeros(PAGE, dtype=np.uint8)
+    current = twin.copy()
+    current[10:20] = 1
+    current[50:55] = 2
+    diff = make_diff(0, 0, 1, twin, current)
+    assert len(diff.runs) == 2
+    assert diff.payload_bytes == 15
+    assert diff.wire_bytes == 12 + 2 * 8 + 15
+    assert diff_payload_bytes([diff, diff]) == 2 * diff.wire_bytes
+
+
+def test_diff_is_hashable_and_cached_sizes():
+    twin = np.zeros(PAGE, dtype=np.uint8)
+    current = twin.copy()
+    current[0] = 9
+    d = make_diff(0, 0, 1, twin, current)
+    assert isinstance(hash(d), int)
+    assert d.payload_bytes == 1

@@ -1,0 +1,109 @@
+"""Tests of barrier-time garbage collection (TreadMarks-style)."""
+
+import numpy as np
+import pytest
+
+from repro.memory import Section, SharedLayout
+from repro.rt import AccessType
+from repro.tm.system import TmSystem
+
+
+def run(nprocs, main, gc_threshold=None, page_size=256, size=64):
+    layout = SharedLayout(page_size=page_size)
+    layout.add_array("x", (size,))
+    system = TmSystem(nprocs=nprocs, layout=layout,
+                      gc_threshold=gc_threshold)
+    return system.run(main), system
+
+
+def iterating_main(iters):
+    def main(node):
+        x = node.array("x")
+        chunk = 64 // node.nprocs
+        lo, hi = node.pid * chunk, (node.pid + 1) * chunk
+        total = 0.0
+        for it in range(iters):
+            x[lo:hi] = float(it + 1) * (node.pid + 1)
+            node.barrier()
+            total = float(x[0:64].sum())
+            node.barrier()
+        return total
+
+    return main
+
+
+def expected(iters, nprocs):
+    chunk = 64 // nprocs
+    return float(iters) * chunk * sum(range(1, nprocs + 1))
+
+
+def test_gc_preserves_correctness():
+    res, system = run(4, iterating_main(12), gc_threshold=10)
+    assert res.returns == [expected(12, 4)] * 4
+    assert all(n.gc_rounds >= 1 for n in system.nodes)
+
+
+def test_gc_bounds_interval_memory():
+    _, without = run(4, iterating_main(20))
+    _, with_gc = run(4, iterating_main(20), gc_threshold=16)
+    peak_without = max(len(n.intervals) for n in without.nodes)
+    peak_with = max(len(n.intervals) for n in with_gc.nodes)
+    assert peak_with < peak_without
+    assert all(n.gc_rounds >= 1 for n in with_gc.nodes)
+
+
+def test_gc_costs_messages():
+    """The validation burst and the rendezvous are real traffic."""
+    res_plain, _ = run(4, iterating_main(12))
+    res_gc, _ = run(4, iterating_main(12), gc_threshold=10)
+    assert res_gc.messages >= res_plain.messages
+    assert res_gc.time >= res_plain.time
+
+
+def test_gc_with_locks():
+    def main(node):
+        x = node.array("x")
+        for _ in range(6):
+            node.lock_acquire(1)
+            x[0] = x[0] + 1.0
+            node.lock_release(1)
+            node.barrier()
+        return float(x[0])
+
+    res, system = run(4, main, gc_threshold=8)
+    assert res.returns == [24.0] * 4
+    assert any(n.gc_rounds for n in system.nodes)
+
+
+def test_gc_with_validates():
+    def main(node):
+        x = node.array("x")
+        chunk = 64 // node.nprocs
+        lo, hi = node.pid * chunk, (node.pid + 1) * chunk
+        sec_own = Section.of("x", (lo, hi - 1))
+        for it in range(8):
+            node.validate([sec_own], AccessType.WRITE_ALL)
+            x[lo:hi] = float(it + 1)
+            node.barrier()
+            node.validate([Section.of("x", (0, 63))], AccessType.READ)
+            total = float(x[0:64].sum())
+            node.barrier()
+        return total
+
+    res, system = run(4, main, gc_threshold=8)
+    assert res.returns == [8.0 * 64] * 4
+    assert any(n.gc_rounds for n in system.nodes)
+
+
+def test_gc_then_snapshot():
+    res, system = run(4, iterating_main(10), gc_threshold=8)
+    snap = system.snapshot()
+    chunk = 16
+    for p in range(4):
+        np.testing.assert_allclose(snap["x"][p * chunk:(p + 1) * chunk],
+                                   10.0 * (p + 1))
+
+
+def test_no_gc_below_threshold():
+    _, system = run(2, iterating_main(2), gc_threshold=10 ** 6)
+    assert all(n.gc_rounds == 0 for n in system.nodes)

@@ -1,0 +1,105 @@
+"""Unit tests for harness plumbing: modes, reports, registry, runner."""
+
+import numpy as np
+import pytest
+
+from repro.apps import all_apps, get_app
+from repro.compiler import OptConfig
+from repro.harness.modes import (OPT_LEVELS, applicable_levels,
+                                 sync_fetch_variant)
+from repro.harness.report import (render_figure5, render_figure6,
+                                  render_figure7, render_table,
+                                  render_table1, render_table2)
+from repro.harness.runner import layout_for, run_dsm, run_seq
+
+
+def test_registry_has_all_six_apps():
+    apps = all_apps()
+    assert set(apps) == {"jacobi", "fft3d", "is", "shallow", "gauss",
+                         "mgs"}
+    for app in apps.values():
+        assert {"large", "small", "bench", "tiny"} <= set(app.datasets)
+        assert app.datasets["large"].paper_uniproc_secs is not None
+        assert app.datasets["small"].paper_uniproc_secs is not None
+
+
+def test_get_app_unknown_raises():
+    with pytest.raises(KeyError):
+        get_app("nonesuch")
+
+
+def test_opt_levels_are_cumulative():
+    assert OPT_LEVELS["base"] is None
+    assert not OPT_LEVELS["aggr"].consistency_elimination
+    assert OPT_LEVELS["aggr+cons"].consistency_elimination
+    assert OPT_LEVELS["merge"].sync_data_merge
+    assert OPT_LEVELS["push"].push
+
+
+def test_applicable_levels_match_paper():
+    apps = all_apps()
+    assert "merge" not in applicable_levels(apps["shallow"])
+    assert "push" not in applicable_levels(apps["shallow"])
+    for name in ("is", "gauss", "mgs"):
+        assert "push" not in applicable_levels(apps[name])
+    assert set(applicable_levels(apps["jacobi"])) == set(OPT_LEVELS)
+
+
+def test_sync_fetch_variant():
+    opt = sync_fetch_variant(OPT_LEVELS["aggr+cons"])
+    assert not opt.asynchronous
+    assert opt.consistency_elimination
+
+
+def test_layout_for_skips_private_arrays():
+    app = get_app("jacobi")
+    layout = layout_for(app.program("tiny", 1), page_size=256)
+    assert "b" in layout.arrays
+    assert "a" not in layout.arrays
+
+
+def test_render_table_handles_none_and_strings():
+    text = render_table("T", ["a", "b"], [["x", None], ["y", 1.5]])
+    assert "n/a" in text
+    assert "1.50" in text
+
+
+def test_renderers_accept_driver_shapes():
+    t1 = render_table1([{"app": "jacobi", "dataset": "bench",
+                         "params": {"M": 2}, "paper_secs": None,
+                         "simulated_secs": 1.0}])
+    assert "jacobi" in t1
+    t2 = render_table2([{"app": "is", "best_level": "merge",
+                         "segv_pct": 99.0, "msg_pct": 50.0,
+                         "data_pct": -10.0}])
+    assert "merge" in t2
+    f5 = render_figure5([{"app": "is", "Tmk": 1.0, "Opt-Tmk": 2.0,
+                          "XHPF": None, "PVMe": 3.0}])
+    assert "n/a" in f5
+    f6 = render_figure6([{"app": "is", "base": 1.0, "aggr": 1.1,
+                          "aggr+cons": 1.2, "merge": None, "push": None,
+                          "XHPF": None, "PVMe": 2.0}])
+    assert "is" in f6
+    f7 = render_figure7([{"app": "is", "Tmk": 1.0, "Sync": 1.5,
+                          "Async": 1.6}])
+    assert "Async" in f7
+
+
+def test_run_dsm_without_snapshot_returns_no_arrays():
+    app = get_app("jacobi")
+    res = run_dsm(app.program("tiny", 2), nprocs=2, opt=None,
+                  page_size=256, snapshot=False)
+    assert res.arrays == {}
+    assert res.time > 0
+
+
+def test_opt_config_is_hashable_and_frozen():
+    opt = OptConfig(name="x")
+    with pytest.raises(Exception):
+        opt.push = True
+    assert isinstance(hash(opt), int)
+
+
+def test_cli_entry_point():
+    from repro.__main__ import main
+    assert main(["table1", "--dataset", "tiny"]) == 0

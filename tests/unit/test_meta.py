@@ -1,0 +1,59 @@
+"""Unit + property tests for interval metadata and ordering."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tm.meta import IntervalRecord, interval_wire_bytes
+
+
+def rec(writer, index, vc, pages=(0,)):
+    return IntervalRecord(writer, index, tuple(vc), tuple(pages),
+                          frozenset())
+
+
+def test_happens_before_basic():
+    a = rec(0, 1, [1, 0])
+    b = rec(1, 1, [1, 1])
+    assert a.happens_before(b)
+    assert not b.happens_before(a)
+    assert not a.happens_before(a)   # irreflexive
+
+
+def test_concurrent_intervals():
+    a = rec(0, 1, [1, 0])
+    b = rec(1, 1, [0, 1])
+    assert not a.happens_before(b)
+    assert not b.happens_before(a)
+
+
+vcs = st.lists(st.integers(0, 5), min_size=3, max_size=3)
+
+
+@given(vcs, vcs, vcs)
+@settings(max_examples=200)
+def test_happens_before_is_transitive(v1, v2, v3):
+    a, b, c = rec(0, 1, v1), rec(1, 1, v2), rec(2, 1, v3)
+    if a.happens_before(b) and b.happens_before(c):
+        assert a.happens_before(c)
+
+
+@given(vcs, vcs)
+@settings(max_examples=200)
+def test_order_key_extends_happens_before(v1, v2):
+    """The total order used to apply diffs must respect causality."""
+    a, b = rec(0, 1, v1), rec(1, 1, v2)
+    if a.happens_before(b):
+        assert a.order_key() < b.order_key()
+    if b.happens_before(a):
+        assert b.order_key() < a.order_key()
+
+
+def test_wire_bytes_accounting():
+    r = rec(0, 1, [1, 0, 0], pages=(1, 2, 3))
+    # 8 header + 3*4 vc entries + 3*4 page ids
+    assert r.wire_bytes() == 8 + 12 + 12
+    assert interval_wire_bytes([r, r]) == 2 * r.wire_bytes()
+
+
+def test_key():
+    assert rec(3, 7, [0, 0, 0, 0, 0, 0, 0, 7]).key == (3, 7)

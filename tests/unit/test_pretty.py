@@ -1,0 +1,68 @@
+"""Tests for the IR pretty printer."""
+
+from repro.apps import get_app
+from repro.compiler import OptConfig, transform
+from repro.lang import build as B
+from repro.lang.pretty import expr_str, program_str, spec_str, stmt_lines
+
+
+def test_expr_rendering():
+    i, j = B.syms("i j")
+    assert expr_str(2 * i + 1) == "2 * i + 1"
+    assert expr_str((i + 1) * j) == "(i + 1) * j"
+    assert expr_str(i - (j - 1)) == "i - (j - 1)"
+    assert expr_str(B.emax(i, 1)) == "max(i, 1)"
+    assert expr_str(-i) == "-i"
+    b = B.array_ref("b")
+    assert expr_str(b(i - 1, j)) == "b(i - 1, j)"
+
+
+def test_spec_rendering():
+    spec = B.spec("b", (0, 63), (B.sym("begin"), B.sym("end"), 4))
+    assert spec_str(spec) == "b[0:63, begin:end:4]"
+
+
+def test_stmt_rendering():
+    i = B.sym("i")
+    x = B.array_ref("x")
+    lines = stmt_lines(B.loop(i, 0, 9, [B.assign(x(i), i * 2)]))
+    assert lines[0] == "do i = 0, 9"
+    assert lines[1].strip() == "x(i) = i * 2"
+
+
+def test_program_roundtrip_contains_structure():
+    app = get_app("jacobi")
+    text = program_str(app.program("tiny", 4))
+    assert "program jacobi" in text
+    assert "shared b(64x64)" in text
+    assert "private a(64x64)" in text
+    assert "call Barrier(B1)" in text
+    assert "do k = 1, 3" in text
+
+
+def test_transformed_program_shows_runtime_calls():
+    app = get_app("jacobi")
+    prog = transform(app.program("tiny", 4),
+                     OptConfig(push=True, name="full"))
+    text = program_str(prog)
+    assert "call Validate(" in text
+    assert "WRITE_ALL" in text
+    assert "call Push(" in text
+    assert "! was Barrier(B2)" in text
+
+
+def test_merge_renders_w_sync():
+    app = get_app("gauss")
+    prog = transform(app.program("tiny", 4),
+                     OptConfig(sync_data_merge=True, name="m"))
+    text = program_str(prog)
+    assert "call Validate_w_sync(" in text
+
+
+def test_kernels_and_locks_render():
+    app = get_app("is")
+    text = program_str(app.program("tiny", 4))
+    assert "call Acquire(" in text
+    assert "call Release(" in text
+    assert "call count_keys(" in text
+    assert "indirect" in text

@@ -1,0 +1,87 @@
+"""Tests for the Figure 3/4 facade (paper-named interface)."""
+
+import numpy as np
+
+from repro.memory import Section, SharedLayout
+from repro.rt import (AugmentedRuntime, READ, READ_WRITE_ALL, WRITE_ALL)
+from repro.tm.system import TmSystem
+
+
+def run(main, nprocs=2):
+    layout = SharedLayout(page_size=256)
+    layout.add_array("x", (64,))
+    system = TmSystem(nprocs=nprocs, layout=layout)
+    return system.run(main)
+
+
+def test_validate_via_facade():
+    def main(node):
+        rt = AugmentedRuntime(node)
+        x = node.array("x")
+        if node.pid == 0:
+            rt.Validate(Section.of("x", (0, 31)), WRITE_ALL)
+            x[0:32] = 4.0
+        node.barrier()
+        if node.pid == 1:
+            rt.Validate(Section.of("x", (0, 31)), READ)
+        return float(x[0:32].sum())
+
+    res = run(main)
+    assert res.returns == [128.0, 128.0]
+    assert res.stats.diffs_created == 0   # WRITE_ALL took effect
+
+
+def test_push_via_facade():
+    def main(node):
+        rt = AugmentedRuntime(node)
+        x = node.array("x")
+        me = node.pid
+        x[me * 16:(me + 1) * 16] = me + 1.0
+        other = 1 - me
+        reads = [Section.of("x", ((1 - q) * 16, (1 - q) * 16 + 15))
+                 for q in range(2)]
+        writes = [Section.of("x", (q * 16, q * 16 + 15))
+                  for q in range(2)]
+        rt.Push(reads, writes)
+        return float(x[other * 16:other * 16 + 16].sum())
+
+    res = run(main)
+    assert res.returns == [32.0, 16.0]
+
+
+def test_fetch_apply_primitives():
+    def main(node):
+        rt = AugmentedRuntime(node)
+        x = node.array("x")
+        if node.pid == 0:
+            x[0:32] = 2.0
+        node.barrier()
+        if node.pid == 1:
+            handle = rt.Fetch_diffs(Section.of("x", (0, 31)))
+            node.proc.advance(100.0)      # overlapped compute
+            rt.Apply_diffs(handle)
+            total = float(x[0:32].sum())
+            node.barrier()
+            return total
+        node.barrier()
+        return None
+
+    res = run(main)
+    assert res.returns[1] == 64.0
+    # The explicit fetch left no faults for the later reads.
+    assert res.per_proc[1].read_faults == 0
+
+
+def test_protect_enable_primitives():
+    def main(node):
+        rt = AugmentedRuntime(node)
+        x = node.array("x")
+        sec = Section.of("x", (0, 31))
+        rt.Write_enable(sec)
+        x[0:32] = 1.0         # no write faults: already enabled
+        rt.Write_protect(sec)
+        node.barrier()
+        return node.stats.write_faults
+
+    res = run(main, nprocs=1)
+    assert res.returns == [0]

@@ -1,0 +1,128 @@
+"""Unit + property tests for concrete regular sections."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SectionError
+from repro.memory import Section, ap_intersect
+
+
+def ap_points(lo, hi, step):
+    return set(range(lo, hi + 1, step))
+
+
+dims_st = st.tuples(
+    st.integers(min_value=0, max_value=40),
+    st.integers(min_value=0, max_value=40),
+    st.integers(min_value=1, max_value=7),
+).map(lambda t: (min(t[0], t[1]), max(t[0], t[1]), t[2]))
+
+
+@given(dims_st, dims_st)
+@settings(max_examples=300)
+def test_ap_intersect_matches_bruteforce(d1, d2):
+    got = ap_intersect(*d1, *d2)
+    expected = ap_points(*d1) & ap_points(*d2)
+    if got is None:
+        assert expected == set()
+    else:
+        assert ap_points(*got) == expected
+
+
+@given(st.lists(dims_st, min_size=1, max_size=3),
+       st.lists(dims_st, min_size=1, max_size=3))
+@settings(max_examples=200)
+def test_section_intersect_matches_bruteforce(dims_a, dims_b):
+    if len(dims_a) != len(dims_b):
+        dims_b = (dims_b * 3)[:len(dims_a)]
+    a = Section("x", tuple(dims_a))
+    b = Section("x", tuple(dims_b))
+    got = a.intersect(b)
+    expected = set(a.iter_points()) & set(b.iter_points())
+    if got is None:
+        assert expected == set()
+    else:
+        assert set(got.iter_points()) == expected
+
+
+@given(st.lists(dims_st, min_size=1, max_size=2),
+       st.lists(dims_st, min_size=1, max_size=2))
+@settings(max_examples=200)
+def test_hull_covers_both(dims_a, dims_b):
+    if len(dims_a) != len(dims_b):
+        dims_b = (dims_b * 2)[:len(dims_a)]
+    a = Section("x", tuple(dims_a))
+    b = Section("x", tuple(dims_b))
+    hull = a.hull(b)
+    pts = set(hull.iter_points())
+    assert set(a.iter_points()) <= pts
+    assert set(b.iter_points()) <= pts
+
+
+@given(st.lists(dims_st, min_size=1, max_size=2))
+@settings(max_examples=100)
+def test_self_operations(dims):
+    a = Section("x", tuple(dims))
+    assert a.intersect(a) is not None
+    assert set(a.intersect(a).iter_points()) == set(a.iter_points())
+    assert a.contains(a)
+    assert a.union_exact(a) is not None
+
+
+def test_of_and_whole_and_point():
+    s = Section.of("a", (0, 9), (2, 5, 3))
+    assert s.dims == ((0, 9, 1), (2, 5, 3))
+    assert Section.whole("a", (4, 3)).dims == ((0, 3, 1), (0, 2, 1))
+    assert Section.point("a", (3, 7)).npoints() == 1
+
+
+def test_npoints():
+    assert Section.of("a", (0, 9)).npoints() == 10
+    assert Section.of("a", (0, 9, 3)).npoints() == 4
+    assert Section.of("a", (0, 9), (0, 4)).npoints() == 50
+
+
+def test_contains_point():
+    s = Section.of("a", (2, 10, 2))
+    assert s.contains_point((4,))
+    assert not s.contains_point((5,))
+    assert not s.contains_point((12,))
+
+
+def test_intersect_different_arrays_is_none():
+    a = Section.of("a", (0, 9))
+    b = Section.of("b", (0, 9))
+    assert a.intersect(b) is None
+
+
+def test_union_exact_adjacent():
+    a = Section.of("a", (0, 4))
+    b = Section.of("a", (5, 9))
+    u = a.union_exact(b)
+    assert u is not None and set(u.iter_points()) == {(i,) for i in range(10)}
+
+
+def test_union_exact_disjoint_gap_is_none():
+    a = Section.of("a", (0, 3))
+    b = Section.of("a", (6, 9))
+    assert a.union_exact(b) is None
+
+
+def test_contains_strided():
+    outer = Section.of("a", (0, 20, 2))
+    assert outer.contains(Section.of("a", (4, 12, 4)))
+    assert not outer.contains(Section.of("a", (1, 9, 2)))   # misaligned
+    assert not outer.contains(Section.of("a", (0, 9, 3)))   # stride mismatch
+
+
+def test_bad_step_rejected():
+    with pytest.raises(SectionError):
+        Section("a", ((0, 5, 0),))
+
+
+def test_empty_section():
+    s = Section("a", ((5, 3, 1),))
+    assert s.empty
+    assert s.npoints() == 0
+    assert list(s.iter_points()) == []

@@ -1,0 +1,124 @@
+"""Unit tests for the application-facing SharedArray access layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LayoutError
+from repro.memory import Section, SharedLayout
+from repro.tm.system import TmSystem
+
+
+def run(main, arrays=(("x", (16, 8)),), nprocs=2):
+    layout = SharedLayout(page_size=256)
+    for name, shape in arrays:
+        layout.add_array(name, shape)
+    system = TmSystem(nprocs=nprocs, layout=layout)
+    return system.run(main)
+
+
+def test_getitem_setitem_scalar():
+    def main(node):
+        x = node.array("x")
+        if node.pid == 0:
+            x[3, 2] = 42.0
+        node.barrier()
+        return x[3, 2]
+
+    res = run(main)
+    assert res.returns == [42.0, 42.0]
+
+
+def test_slice_read_write():
+    def main(node):
+        x = node.array("x")
+        if node.pid == 0:
+            x[0:16, 1] = np.arange(16.0)
+        node.barrier()
+        return float(np.sum(x[4:8, 1]))
+
+    res = run(main)
+    assert res.returns == [4.0 + 5 + 6 + 7] * 2
+
+
+def test_negative_index():
+    def main(node):
+        x = node.array("x")
+        if node.pid == 0:
+            x[-1, -1] = 9.0
+        node.barrier()
+        return x[15, 7]
+
+    res = run(main)
+    assert res.returns == [9.0, 9.0]
+
+
+def test_strided_slice():
+    def main(node):
+        x = node.array("x")
+        if node.pid == 0:
+            x[0:16:4, 0] = 1.0
+        node.barrier()
+        return float(np.sum(x[0:16, 0]))
+
+    res = run(main)
+    assert res.returns == [4.0, 4.0]
+
+
+def test_wrong_rank_raises():
+    def main(node):
+        x = node.array("x")
+        try:
+            x[3]
+        except LayoutError:
+            return "raised"
+        return "no"
+
+    res = run(main)
+    assert res.returns == ["raised"] * 2
+
+
+def test_rmw():
+    def main(node):
+        x = node.array("x")
+        sec = Section.of("x", (0, 3), (0, 0))
+        if node.pid == 0:
+            x.write(sec, 5.0)
+        node.barrier()
+        if node.pid == 1:
+            node.lock_acquire(0)
+            x.rmw(sec, lambda v: np.add(v, 1.0, out=v))
+            node.lock_release(0)
+        node.barrier()
+        return float(x[0, 0])
+
+    res = run(main)
+    assert res.returns == [6.0, 6.0]
+
+
+def test_write_view_does_not_fetch():
+    """write_view must not trigger read faults."""
+    def main(node):
+        x = node.array("x")
+        if node.pid == 0:
+            x[0:16, 0] = 1.0
+        node.barrier()
+        if node.pid == 1:
+            view = x.write_view(Section.of("x", (0, 15), (0, 0)))
+            view[...] = 2.0
+        node.barrier()
+        return (float(x[0, 0]), node.stats.read_faults)
+
+    res = run(main)
+    val, _ = res.returns[0]
+    assert val == 2.0
+    _, p1_read_faults = res.returns[1]
+    assert p1_read_faults == 0
+
+
+def test_shape_and_dtype():
+    def main(node):
+        x = node.array("x")
+        return (x.shape, str(x.dtype))
+
+    res = run(main)
+    assert res.returns[0] == ((16, 8), "float64")

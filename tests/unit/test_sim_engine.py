@@ -1,0 +1,224 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationDeadlock, SimulationError
+from repro.sim import Engine, ProcessState
+
+
+def test_single_process_advances_clock():
+    engine = Engine()
+    times = []
+
+    def main(proc):
+        proc.advance(10.0)
+        times.append(engine.now)
+        proc.advance(5.5)
+        times.append(engine.now)
+
+    engine.add_process("p0", main)
+    engine.run()
+    assert times == [10.0, 15.5]
+    assert engine.now == 15.5
+
+
+def test_processes_run_concurrently_in_virtual_time():
+    engine = Engine()
+    log = []
+
+    def worker(delay):
+        def main(proc):
+            proc.advance(delay)
+            log.append((engine.now, proc.name))
+        return main
+
+    engine.add_process("a", worker(30.0))
+    engine.add_process("b", worker(10.0))
+    engine.add_process("c", worker(20.0))
+    engine.run()
+    assert log == [(10.0, "b"), (20.0, "c"), (30.0, "a")]
+    assert engine.now == 30.0
+
+
+def test_zero_advance_does_not_block():
+    engine = Engine()
+
+    def main(proc):
+        proc.advance(0.0)
+        proc.advance(0.0)
+
+    engine.add_process("p0", main)
+    engine.run()
+    assert engine.now == 0.0
+
+
+def test_negative_advance_rejected():
+    engine = Engine()
+    caught = []
+
+    def main(proc):
+        try:
+            proc.advance(-1.0)
+        except SimulationError as exc:
+            caught.append(exc)
+
+    engine.add_process("p0", main)
+    engine.run()
+    assert len(caught) == 1
+
+
+def test_wait_wake_roundtrip():
+    engine = Engine()
+    log = []
+
+    waiter_proc = {}
+
+    def waiter(proc):
+        waiter_proc["p"] = proc
+        proc.wait()
+        log.append(("woke", engine.now))
+
+    def waker(proc):
+        proc.advance(42.0)
+        waiter_proc["p"].wake()
+
+    engine.add_process("waiter", waiter)
+    engine.add_process("waker", waker)
+    engine.run()
+    assert log == [("woke", 42.0)]
+
+
+def test_wake_before_wait_is_remembered():
+    engine = Engine()
+    log = []
+    procs = {}
+
+    def target(proc):
+        procs["t"] = proc
+        proc.advance(20.0)   # wake arrives while advancing
+        proc.wait()          # must not block forever
+        log.append(engine.now)
+
+    def poker(proc):
+        proc.advance(5.0)
+        procs["t"].wake()
+
+    engine.add_process("target", target)
+    engine.add_process("poker", poker)
+    engine.run()
+    assert log == [20.0]
+
+
+def test_steal_cpu_postpones_advance():
+    engine = Engine()
+    log = []
+    procs = {}
+
+    def victim(proc):
+        procs["v"] = proc
+        proc.advance(100.0)
+        log.append(engine.now)
+
+    def thief(proc):
+        proc.advance(10.0)
+        procs["v"].steal_cpu(25.0)
+
+    engine.add_process("victim", victim)
+    engine.add_process("thief", thief)
+    engine.run()
+    assert log == [125.0]
+
+
+def test_steal_cpu_delays_wake_from_wait():
+    engine = Engine()
+    log = []
+    procs = {}
+
+    def victim(proc):
+        procs["v"] = proc
+        proc.wait()
+        log.append(engine.now)
+
+    def thief(proc):
+        proc.advance(10.0)
+        procs["v"].steal_cpu(30.0)   # busy until 40
+        procs["v"].wake()            # resumes at 40, not 10
+    engine.add_process("victim", victim)
+    engine.add_process("thief", thief)
+    engine.run()
+    assert log == [40.0]
+
+
+def test_deadlock_detection():
+    engine = Engine()
+
+    def main(proc):
+        proc.wait()
+
+    engine.add_process("stuck", main)
+    with pytest.raises(SimulationDeadlock):
+        engine.run()
+
+
+def test_process_exception_propagates():
+    engine = Engine()
+
+    def main(proc):
+        proc.advance(1.0)
+        raise ValueError("boom")
+
+    engine.add_process("bad", main)
+    with pytest.raises(SimulationError) as exc_info:
+        engine.run()
+    assert isinstance(exc_info.value.__cause__, ValueError)
+
+
+def test_call_after_runs_on_engine_thread():
+    engine = Engine()
+    log = []
+
+    def main(proc):
+        proc.advance(10.0)
+
+    engine.add_process("p0", main)
+    engine.call_after(5.0, lambda: log.append(engine.now))
+    engine.run()
+    assert log == [5.0]
+
+
+def test_result_captured():
+    engine = Engine()
+
+    def main(proc):
+        proc.advance(1.0)
+        return "done"
+
+    proc = engine.add_process("p0", main)
+    engine.run()
+    assert proc.result == "done"
+    assert proc.state is ProcessState.DONE
+
+
+def test_deterministic_ordering_same_time():
+    """Same-time completions run in a deterministic (repeatable) order."""
+
+    def run_once():
+        engine = Engine()
+        order = []
+
+        def worker(name):
+            def main(proc):
+                proc.advance(10.0)
+                order.append((name, engine.now))
+            return main
+
+        for name in ("a", "b", "c", "d"):
+            engine.add_process(name, worker(name))
+        engine.run()
+        return order
+
+    first = run_once()
+    second = run_once()
+    assert first == second
+    assert {n for n, _ in first} == {"a", "b", "c", "d"}
+    assert all(t == 10.0 for _, t in first)

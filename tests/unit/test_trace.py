@@ -1,0 +1,84 @@
+"""Tests for the optional protocol tracer."""
+
+from repro.memory import Section, SharedLayout
+from repro.rt import AccessType
+from repro.tm.system import TmSystem
+from repro.tm.trace import Tracer
+
+
+def traced_run(main, nprocs=2):
+    layout = SharedLayout(page_size=256)
+    layout.add_array("x", (64,))
+    system = TmSystem(nprocs=nprocs, layout=layout)
+    tracer = Tracer.attach(system)
+    res = system.run(main)
+    return res, tracer
+
+
+def test_records_barriers_and_intervals():
+    def main(node):
+        x = node.array("x")
+        if node.pid == 0:
+            x[0:8] = 1.0
+        node.barrier()
+
+    res, tracer = traced_run(main)
+    counts = tracer.counts()
+    # One explicit + one exit barrier per processor.
+    assert counts["barrier"] == 4
+    assert counts["interval"] >= 1
+
+
+def test_records_locks_and_grants():
+    def main(node):
+        x = node.array("x")
+        node.lock_acquire(1)
+        x[0] = x[0] + 1.0
+        node.lock_release(1)
+        node.barrier()
+
+    res, tracer = traced_run(main)
+    counts = tracer.counts()
+    assert counts["lock_acquire"] == 2
+    assert counts["lock_release"] == 2
+    assert counts.get("lock_grant", 0) >= 1
+
+
+def test_records_validates():
+    def main(node):
+        x = node.array("x")
+        node.validate([Section.of("x", (0, 31))], AccessType.READ)
+        node.barrier()
+
+    res, tracer = traced_run(main)
+    assert tracer.counts()["validate"] == 2
+
+
+def test_filter_and_format():
+    def main(node):
+        x = node.array("x")
+        if node.pid == 0:
+            x[0:8] = 1.0
+        node.barrier()
+        _ = x[0:8]
+        node.barrier()
+
+    res, tracer = traced_run(main)
+    only_p1 = tracer.filter(pid=1)
+    assert only_p1 and all(e.pid == 1 for e in only_p1)
+    text = tracer.format(kinds={"barrier"})
+    assert "barrier" in text
+    times = [e.time for e in tracer.filter()]
+    assert times == sorted(times)
+
+
+def test_untraced_system_unaffected():
+    layout = SharedLayout(page_size=256)
+    layout.add_array("x", (64,))
+    system = TmSystem(nprocs=2, layout=layout)
+
+    def main(node):
+        node.barrier()
+
+    res = system.run(main)   # no tracer attached: plain run
+    assert res.time > 0

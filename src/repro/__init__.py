@@ -10,16 +10,26 @@ discrete-event simulation of the paper's 8-node IBM SP/2.
 
 Typical entry points::
 
-    from repro.apps import get_app
-    from repro.compiler import OptConfig, analyze_program, transform
-    from repro.harness.runner import run_dsm, run_mp, run_seq, run_xhpf
+    from repro import RunSpec, run
+    out = run(RunSpec(app="jacobi", mode="dsm", nprocs=4,
+                      opt="aggr", telemetry=True))
+    out.telemetry.write_chrome_trace("trace.json")
+
+or the mode-specific helpers::
+
+    from repro import run_dsm, run_mp, run_seq, run_xhpf
     from repro.harness import experiments
 """
 
 from repro.compiler import OptConfig, analyze_program, transform
+from repro.harness import (RunOutcome, RunSpec, run, run_dsm, run_mp,
+                           run_seq, run_xhpf)
 from repro.machine import MachineConfig
 from repro.memory import Section, SharedLayout
 from repro.rt import AccessType
+from repro.telemetry import (EventBus, MetricsRegistry, SpanLog,
+                             Telemetry, chrome_trace, events_jsonl,
+                             write_chrome_trace, write_jsonl)
 from repro.tm import TmSystem
 
 __version__ = "1.0.0"
@@ -27,4 +37,8 @@ __version__ = "1.0.0"
 __all__ = [
     "AccessType", "MachineConfig", "OptConfig", "Section", "SharedLayout",
     "TmSystem", "analyze_program", "transform", "__version__",
+    "RunOutcome", "RunSpec", "run",
+    "run_dsm", "run_mp", "run_seq", "run_xhpf",
+    "Telemetry", "EventBus", "MetricsRegistry", "SpanLog",
+    "chrome_trace", "events_jsonl", "write_chrome_trace", "write_jsonl",
 ]

@@ -1,10 +1,11 @@
-"""Command-line entry point: regenerate the paper's tables and figures.
+"""Command-line entry point: paper artifacts and trace capture.
 
 Usage::
 
     python -m repro table1
     python -m repro table2 figure5
     python -m repro all --nprocs 8 --dataset bench
+    python -m repro trace jacobi --out trace.json
 """
 
 from __future__ import annotations
@@ -45,10 +46,64 @@ ARTIFACTS = {
 }
 
 
+def trace_main(argv) -> int:
+    """``python -m repro trace <app>``: run once with full telemetry."""
+    from repro.apps import all_apps
+    from repro.harness import MODES, RunSpec, run
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Run one application with telemetry enabled and "
+                    "export a Chrome-trace timeline "
+                    "(chrome://tracing or https://ui.perfetto.dev).")
+    parser.add_argument("app", choices=sorted(all_apps()),
+                        help="application to trace")
+    parser.add_argument("--mode", default="dsm", choices=sorted(MODES))
+    parser.add_argument("--dataset", default="tiny")
+    parser.add_argument("--nprocs", type=int, default=4)
+    parser.add_argument("--page-size", type=int, default=1024)
+    parser.add_argument("--opt", default="aggr",
+                        help="DSM optimization level (base, aggr, "
+                             "aggr+cons, merge, push)")
+    parser.add_argument("--out", default=None,
+                        help="Chrome-trace output path "
+                             "(default: trace-<app>.json)")
+    parser.add_argument("--jsonl", default=None,
+                        help="also write a JSONL event log here")
+    args = parser.parse_args(argv)
+
+    spec = RunSpec(app=args.app, mode=args.mode, dataset=args.dataset,
+                   nprocs=args.nprocs, page_size=args.page_size,
+                   opt=args.opt if args.mode == "dsm" else None,
+                   telemetry=True)
+    out = run(spec)
+    tel = out.telemetry
+    path = args.out or f"trace-{args.app}.json"
+    tel.write_chrome_trace(path)
+    if args.jsonl:
+        tel.write_jsonl(args.jsonl)
+
+    print(f"{args.app} [{args.mode}] dataset={args.dataset} "
+          f"nprocs={args.nprocs}: t={out.time:.1f}us "
+          f"messages={out.messages} bytes={out.data_bytes}")
+    counts = tel.counts()
+    for kind in sorted(counts):
+        print(f"  {kind:<20} {counts[kind]}")
+    print(f"wrote {path} ({len(tel.bus)} events, "
+          f"{len(tel.spans)} spans)")
+    if args.jsonl:
+        print(f"wrote {args.jsonl}")
+    return 0
+
+
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Regenerate the paper's evaluation artifacts.")
+        description="Regenerate the paper's evaluation artifacts "
+                    "(or capture a trace: python -m repro trace -h).")
     parser.add_argument("artifacts", nargs="+",
                         choices=sorted(ARTIFACTS) + ["all"],
                         help="which tables/figures to regenerate")

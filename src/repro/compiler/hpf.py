@@ -33,13 +33,13 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import HpfError, InterpError
+from repro.harness.outcome import XhpfOutcome as XhpfResult
 from repro.interp.interp import Interpreter
 from repro.interp.runtime import BaseRuntime, LocalAccessor, _alloc
 from repro.lang.nodes import Barrier, Program, eval_int
 from repro.machine.config import MachineConfig
 from repro.memory.section import Section
 from repro.mp.system import MpSystem
-from repro.net.stats import NetStats
 from repro.compiler.analysis import AnalysisResult, analyze_program
 from repro.compiler.rsd import RSD, linexpr_to_expr
 from repro.compiler.transform import rsd_to_spec
@@ -128,6 +128,10 @@ class XhpfRuntime(BaseRuntime):
 
     def charge(self, us: float) -> None:
         self.comm.compute(us)
+
+    def phase_marker(self, label: str) -> None:
+        if self.comm.tel is not None:
+            self.comm.tel.marker(self.pid, label)
 
     def acquire(self, lid: int) -> None:
         raise HpfError("XHPF code cannot contain locks")
@@ -261,26 +265,12 @@ class XhpfRuntime(BaseRuntime):
             self.accessor(sec.array).write(sec, data)
 
 
-@dataclass
-class XhpfResult:
-    time: float
-    net: NetStats
-    arrays: Dict[str, np.ndarray]
-
-    @property
-    def messages(self) -> int:
-        return self.net.messages
-
-    @property
-    def data_bytes(self) -> int:
-        return self.net.bytes
-
-
 def lower_xhpf(program: Program, nprocs: int,
-               config: Optional[MachineConfig] = None) -> XhpfResult:
+               config: Optional[MachineConfig] = None,
+               telemetry=None) -> XhpfResult:
     """Compile and run the XHPF version of ``program``."""
     plan = compile_xhpf(program)
-    system = MpSystem(nprocs=nprocs, config=config)
+    system = MpSystem(nprocs=nprocs, config=config, telemetry=telemetry)
     runtimes: Dict[int, XhpfRuntime] = {}
 
     def main(comm):
@@ -295,7 +285,8 @@ def lower_xhpf(program: Program, nprocs: int,
     # (processor images agree except where only the owner wrote; use the
     # deterministic write log to pick).
     arrays = _merge_replicas(program, runtimes)
-    return XhpfResult(time=result.time, net=result.net, arrays=arrays)
+    return XhpfResult(time=result.time, net=result.net, arrays=arrays,
+                      telemetry=telemetry)
 
 
 def _merge_replicas(program: Program,

@@ -1,20 +1,26 @@
-"""Run one application in one mode; collect time, stats and final state."""
+"""Run one application in one mode; collect time, stats and final state.
+
+Each ``run_*`` helper accepts an optional ``telemetry`` argument — a
+:class:`repro.telemetry.Telemetry` instance that the whole stack
+(engine, network, protocol nodes, runtimes) then reports into.  The
+returned outcome carries it as ``.telemetry``.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Optional
 
-import numpy as np
-
 from repro.compiler.transform import OptConfig, transform
+from repro.harness.outcome import (DsmOutcome, DsmResult, MpOutcome,
+                                   MpResult, RunOutcome, SeqOutcome,
+                                   SeqResult, XhpfOutcome, XhpfResult)
 from repro.interp.interp import Interpreter
 from repro.interp.runtime import DsmRuntime, SeqRuntime
 from repro.lang.nodes import Program
 from repro.machine.config import MachineConfig
 from repro.memory.layout import SharedLayout
-from repro.mp.system import MpRunResult, MpSystem
-from repro.tm.system import RunResult, TmSystem
+from repro.mp.system import MpSystem
+from repro.tm.system import TmSystem
 
 
 def layout_for(program: Program, page_size: int = 4096) -> SharedLayout:
@@ -24,30 +30,13 @@ def layout_for(program: Program, page_size: int = 4096) -> SharedLayout:
     return layout
 
 
-@dataclass
-class SeqResult:
-    time: float                      # simulated microseconds
-    arrays: Dict[str, np.ndarray]
-
-
-def run_seq(program: Program) -> SeqResult:
+def run_seq(program: Program, telemetry=None) -> SeqOutcome:
     """Uniprocessor run: compute cost only (Table 1 baseline)."""
-    rt = SeqRuntime(program)
+    rt = SeqRuntime(program, telemetry=telemetry)
     Interpreter(program, rt).run()
     arrays = {d.name: rt.accessor(d.name).whole().copy()
               for d in program.shared_arrays()}
-    return SeqResult(time=rt.time, arrays=arrays)
-
-
-@dataclass
-class DsmResult:
-    run: RunResult
-    arrays: Dict[str, np.ndarray]
-    program: Program
-
-    @property
-    def time(self) -> float:
-        return self.run.time
+    return SeqOutcome(time=rt.time, arrays=arrays, telemetry=telemetry)
 
 
 def run_dsm(program: Program, nprocs: int,
@@ -56,46 +45,40 @@ def run_dsm(program: Program, nprocs: int,
             page_size: int = 4096,
             snapshot: bool = True,
             gc_threshold: Optional[int] = None,
-            eager_diffing: bool = False) -> DsmResult:
+            eager_diffing: bool = False,
+            telemetry=None) -> DsmOutcome:
     """Run on the (optionally compiler-optimized) TreadMarks DSM."""
     prog = transform(program, opt) if opt is not None else program
     layout = layout_for(prog, page_size=page_size)
     system = TmSystem(nprocs=nprocs, layout=layout, config=config,
                       gc_threshold=gc_threshold,
-                      eager_diffing=eager_diffing)
+                      eager_diffing=eager_diffing,
+                      telemetry=telemetry)
 
     def main(node):
         Interpreter(prog, DsmRuntime(node, prog)).run()
 
     result = system.run(main)
     arrays = system.snapshot() if snapshot else {}
-    return DsmResult(run=result, arrays=arrays, program=prog)
-
-
-@dataclass
-class MpResult:
-    run: MpRunResult
-    arrays: Dict[str, np.ndarray]
-
-    @property
-    def time(self) -> float:
-        return self.run.time
+    return DsmOutcome(run=result, arrays=arrays, program=prog,
+                      telemetry=telemetry)
 
 
 def run_mp(app, params: Dict[str, int], nprocs: int,
-           config: Optional[MachineConfig] = None) -> MpResult:
+           config: Optional[MachineConfig] = None,
+           telemetry=None) -> MpOutcome:
     """Run the hand-coded message-passing (PVMe) version."""
-    system = MpSystem(nprocs=nprocs, config=config)
+    system = MpSystem(nprocs=nprocs, config=config, telemetry=telemetry)
     result = system.run(lambda comm: app.mp_main(comm, dict(params)))
     arrays = {}
     if app.assemble_mp is not None:
         arrays = app.assemble_mp(result.returns, dict(params))
-    return MpResult(run=result, arrays=arrays)
+    return MpOutcome(run=result, arrays=arrays, telemetry=telemetry)
 
 
 def run_xhpf(program: Program, nprocs: int,
              config: Optional[MachineConfig] = None,
-             page_size: int = 4096):
+             telemetry=None) -> XhpfOutcome:
     """Run the XHPF-like compiler-generated message-passing version."""
-    from repro.compiler.hpf import lower_xhpf, XhpfResult
-    return lower_xhpf(program, nprocs, config=config)
+    from repro.compiler.hpf import lower_xhpf
+    return lower_xhpf(program, nprocs, config=config, telemetry=telemetry)

@@ -1,0 +1,133 @@
+"""The redesigned run facade: one spec, one entry point, four modes.
+
+::
+
+    from repro.harness import RunSpec, run
+
+    out = run(RunSpec(app="jacobi", mode="dsm", dataset="tiny",
+                      nprocs=4, opt="aggr", telemetry=True))
+    print(out.time, out.stats.segv, out.messages)
+    out.telemetry.write_chrome_trace("trace.json")
+
+``run`` also accepts keyword shorthand — ``run("jacobi", mode="mp",
+nprocs=4)`` — and every outcome obeys the uniform
+:class:`~repro.harness.outcome.RunOutcome` protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Union
+
+from repro.apps import get_app
+from repro.apps.base import AppSpec
+from repro.compiler.transform import OptConfig
+from repro.errors import ReproError
+from repro.harness.outcome import RunOutcome
+from repro.harness.runner import run_dsm, run_mp, run_seq, run_xhpf
+from repro.lang.nodes import Program
+from repro.machine.config import MachineConfig
+from repro.telemetry import Telemetry
+
+MODES = ("seq", "dsm", "xhpf", "mp")
+
+
+@dataclass
+class RunSpec:
+    """Everything needed to run one application in one mode."""
+
+    #: Application name (registry lookup), an :class:`AppSpec`, or a
+    #: pre-built IR :class:`Program` (the latter not valid for ``mp``,
+    #: which needs the app's hand-coded main).
+    app: Union[str, AppSpec, Program]
+    mode: str = "dsm"
+    dataset: str = "tiny"
+    #: Explicit parameter values; overrides ``dataset`` when given.
+    params: Optional[Dict[str, int]] = None
+    nprocs: int = 1
+    #: Compiler optimization level for DSM runs: an ``OPT_LEVELS`` name
+    #: ("base", "aggr", ...), an explicit :class:`OptConfig`, or None.
+    opt: Union[None, str, OptConfig] = None
+    config: Optional[MachineConfig] = None
+    page_size: int = 4096
+    snapshot: bool = True
+    gc_threshold: Optional[int] = None
+    eager_diffing: bool = False
+    #: ``True`` to trace with a fresh :class:`Telemetry`, or pass an
+    #: existing instance; ``False`` runs without any telemetry overhead.
+    telemetry: Union[bool, Telemetry] = False
+
+    # ------------------------------------------------------------------
+
+    def resolve_app(self) -> Optional[AppSpec]:
+        if isinstance(self.app, str):
+            return get_app(self.app)
+        if isinstance(self.app, AppSpec):
+            return self.app
+        return None
+
+    def resolve_params(self) -> Dict[str, int]:
+        if self.params is not None:
+            return dict(self.params)
+        app = self.resolve_app()
+        if app is None:
+            raise ReproError(
+                "RunSpec with a raw Program needs explicit params "
+                "for this operation")
+        return dict(app.dataset(self.dataset).params)
+
+    def resolve_program(self) -> Program:
+        if isinstance(self.app, Program):
+            return self.app
+        app = self.resolve_app()
+        nprocs = 1 if self.mode == "seq" else self.nprocs
+        return app.build_program(self.resolve_params(), nprocs)
+
+    def resolve_opt(self) -> Optional[OptConfig]:
+        if isinstance(self.opt, str):
+            from repro.harness.modes import OPT_LEVELS
+            try:
+                return OPT_LEVELS[self.opt]
+            except KeyError:
+                raise ReproError(
+                    f"unknown opt level {self.opt!r}; expected one of "
+                    f"{sorted(OPT_LEVELS)}") from None
+        return self.opt
+
+    def resolve_telemetry(self) -> Optional[Telemetry]:
+        if self.telemetry is True:
+            return Telemetry()
+        if self.telemetry is False or self.telemetry is None:
+            return None
+        return self.telemetry
+
+
+def run(spec: Union[RunSpec, str, AppSpec, Program], **overrides) -> RunOutcome:
+    """Run per ``spec``; keyword arguments override/extend its fields."""
+    if isinstance(spec, RunSpec):
+        spec = replace(spec, **overrides) if overrides else spec
+    else:
+        spec = RunSpec(app=spec, **overrides)
+    if spec.mode not in MODES:
+        raise ReproError(
+            f"unknown mode {spec.mode!r}; expected one of {MODES}")
+    tel = spec.resolve_telemetry()
+
+    if spec.mode == "seq":
+        return run_seq(spec.resolve_program(), telemetry=tel)
+    if spec.mode == "dsm":
+        return run_dsm(spec.resolve_program(), nprocs=spec.nprocs,
+                       opt=spec.resolve_opt(), config=spec.config,
+                       page_size=spec.page_size, snapshot=spec.snapshot,
+                       gc_threshold=spec.gc_threshold,
+                       eager_diffing=spec.eager_diffing, telemetry=tel)
+    if spec.mode == "xhpf":
+        return run_xhpf(spec.resolve_program(), nprocs=spec.nprocs,
+                        config=spec.config, telemetry=tel)
+    # mp: needs the hand-coded main from the AppSpec.
+    app = spec.resolve_app()
+    if app is None:
+        raise ReproError("mode 'mp' needs an app name or AppSpec, "
+                         "not a raw Program")
+    return run_mp(app, spec.resolve_params(), nprocs=spec.nprocs,
+                  config=spec.config, telemetry=tel)

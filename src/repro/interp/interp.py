@@ -79,6 +79,8 @@ class Interpreter:
                 value = int(value)
             self.env[s.name] = value
         elif isinstance(s, Barrier):
+            if s.label:
+                self.rt.phase_marker(s.label)
             self.rt.barrier()
         elif isinstance(s, Acquire):
             self.rt.acquire(int(self.eval_scalar(s.lock)))

@@ -86,6 +86,9 @@ class BaseRuntime:
              asynchronous: bool = False) -> None:
         raise NotImplementedError
 
+    def phase_marker(self, label: str) -> None:
+        """Record a labelled program phase boundary (telemetry only)."""
+
 
 class SeqRuntime(BaseRuntime):
     """Uniprocessor reference: all arrays local, clock = compute cost.
@@ -94,20 +97,30 @@ class SeqRuntime(BaseRuntime):
     synchronization from the TreadMarks programs".
     """
 
-    def __init__(self, program: Program) -> None:
+    def __init__(self, program: Program, telemetry=None) -> None:
         super().__init__(program, pid=0, nprocs=1)
         for d in program.shared_arrays():
             self._shared_cache[d.name] = LocalAccessor(_alloc(d))
         self.time = 0.0
+        self.tel = telemetry
+        if telemetry is not None:
+            telemetry.bind(lambda: self.time, 1)
 
     def _make_shared(self, name: str):
         raise InterpError(f"unknown array {name!r}")
 
     def charge(self, us: float) -> None:
+        if us > 0 and self.tel is not None:
+            self.tel.span(0, "compute", self.time, self.time + us)
         self.time += us
 
     def barrier(self) -> None:
-        pass
+        if self.tel is not None:
+            self.tel.barrier(0)
+
+    def phase_marker(self, label: str) -> None:
+        if self.tel is not None:
+            self.tel.marker(0, label)
 
     def acquire(self, lid: int) -> None:
         pass
@@ -136,10 +149,22 @@ class DsmRuntime(BaseRuntime):
     def charge(self, us: float) -> None:
         if us > 0:
             self.node.stats.t_compute += us
-            self.node.proc.advance(us)
+            tel = self.node.tel
+            if tel is None:
+                self.node.proc.advance(us)
+            else:
+                t0 = self.node.sys.engine.now
+                self.node.proc.advance(us)
+                tel.span(self.node.pid, "compute", t0,
+                         self.node.sys.engine.now)
 
     def barrier(self) -> None:
         self.node.barrier()
+
+    def phase_marker(self, label: str) -> None:
+        tel = self.node.tel
+        if tel is not None:
+            tel.marker(self.node.pid, label)
 
     def acquire(self, lid: int) -> None:
         self.node.lock_acquire(lid)

@@ -28,6 +28,7 @@ class MpComm:
         self.pid = proc.pid
         self.nprocs = endpoint.net.nprocs
         self.cfg = endpoint.net.config
+        self.tel = endpoint.net.telemetry
 
     # ------------------------------------------------------------------
 
@@ -62,6 +63,7 @@ class MpComm:
 
     def barrier(self, tag: Any = "mpbar") -> None:
         """Flat barrier: gather at 0, release from 0."""
+        t0 = self.proc.engine.now
         if self.pid == 0:
             for src in range(1, self.nprocs):
                 self.recv(src=src, tag=(tag, "in"))
@@ -70,6 +72,10 @@ class MpComm:
         else:
             self.send(0, None, tag=(tag, "in"))
             self.recv(src=0, tag=(tag, "out"))
+        if self.tel is not None:
+            self.tel.barrier(self.pid)
+            self.tel.span(self.pid, "wait.barrier", t0,
+                          self.proc.engine.now)
 
     def allreduce_sum(self, value: float, tag: Any = "ar") -> float:
         """Sum-reduce a scalar across all processors (via rank 0)."""
@@ -85,4 +91,10 @@ class MpComm:
     def compute(self, us: float) -> None:
         """Charge local computation time."""
         if us > 0:
-            self.proc.advance(us)
+            if self.tel is None:
+                self.proc.advance(us)
+            else:
+                t0 = self.proc.engine.now
+                self.proc.advance(us)
+                self.tel.span(self.pid, "compute", t0,
+                              self.proc.engine.now)

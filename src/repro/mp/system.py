@@ -31,12 +31,19 @@ class MpSystem:
     """A simulated cluster running hand-coded message passing."""
 
     def __init__(self, nprocs: int,
-                 config: Optional[MachineConfig] = None) -> None:
+                 config: Optional[MachineConfig] = None,
+                 telemetry=None) -> None:
         self.nprocs = nprocs
         base = config or MachineConfig()
         self.config = base.with_nprocs(nprocs)
         self.engine = Engine()
-        self.net = Network(self.engine, self.config, nprocs)
+        #: Optional :class:`repro.telemetry.Telemetry` shared with the
+        #: engine and network.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.bind_engine(self.engine, nprocs)
+        self.net = Network(self.engine, self.config, nprocs,
+                           telemetry=telemetry)
 
     def run(self, main: Callable[[MpComm], object]) -> MpRunResult:
         comms: List[MpComm] = []

@@ -88,6 +88,9 @@ class Endpoint:
         msg = Message(kind=kind, src=self.pid, dst=dst,
                       payload=payload, size=size, tag=tag)
         self.net.stats.record(kind, self.pid, size)
+        tel = self.net.telemetry
+        if tel is not None:
+            tel.message(self.pid, dst, kind, size + cfg.header_bytes)
         deliver_at = depart + cfg.wire_time(size)
         engine.call_at(deliver_at, lambda: self.net._deliver(msg))
         return msg
@@ -145,11 +148,14 @@ class Network:
     """The interconnect tying all endpoints together."""
 
     def __init__(self, engine: Engine, config: MachineConfig,
-                 nprocs: int) -> None:
+                 nprocs: int, telemetry=None) -> None:
         self.engine = engine
         self.config = config
         self.nprocs = nprocs
         self.stats = NetStats(header_bytes=config.header_bytes)
+        #: Optional :class:`repro.telemetry.Telemetry` mirroring the
+        #: ``NetStats`` accounting as live metrics + timeline events.
+        self.telemetry = telemetry
         self._endpoints: Dict[int, Endpoint] = {}
 
     def attach(self, proc: Process) -> Endpoint:

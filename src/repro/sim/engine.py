@@ -206,6 +206,10 @@ class Engine:
         self._elock.acquire()
         self._current: Optional[Process] = None
         self._started = False
+        #: Optional :class:`repro.telemetry.Telemetry`; set by
+        #: ``Telemetry.bind_engine``.  Lifecycle events only — per-event
+        #: hooks would be far too hot for the scheduling core.
+        self.telemetry = None
 
     # ------------------------------------------------------------------
 
@@ -254,6 +258,10 @@ class Engine:
         if self._started:
             raise SimulationError("engine already ran")
         self._started = True
+        tel = self.telemetry
+        if tel is not None:
+            for proc in self._processes:
+                tel.event(proc.pid, "sim.proc_start", name=proc.name)
         for proc in self._processes:
             proc._thread.start()
         for proc in self._processes:
@@ -262,6 +270,10 @@ class Engine:
             when, _, action = heapq.heappop(self._queue)
             self.now = when
             action()
+        if tel is not None:
+            for proc in self._processes:
+                tel.event(proc.pid, "sim.proc_done",
+                          state=proc.state.value)
         blocked = [p for p in self._processes if p.alive]
         if blocked:
             states = ", ".join(

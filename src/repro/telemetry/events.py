@@ -1,0 +1,103 @@
+"""Structured protocol events and the bus that records them.
+
+Every instrumented layer (engine, network, TreadMarks protocol, the
+augmented run-time interface, the interpreter) reports through one
+:class:`EventBus`.  Event kinds follow a dotted taxonomy::
+
+    sim.*   process lifecycle               (sim.proc_start, sim.proc_done)
+    net.*   message traffic                 (net.msg)
+    tm.*    protocol activity               (tm.read_fault, tm.diff_apply, ...)
+    app.*   application phase markers       (app.phase)
+
+The full taxonomy is documented in ``docs/observability.md``.
+
+Overhead discipline: instrumented code holds a reference that is ``None``
+when telemetry is off, so a disabled run pays one attribute test per
+potential event.  A bus that exists but is disabled drops events at the
+``emit`` boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped occurrence on one simulated processor."""
+
+    ts: float                       # simulated microseconds
+    pid: int                        # reporting processor
+    kind: str                       # dotted taxonomy name
+    epoch: int = 0                  # barrier epoch of the reporting pid
+    args: Optional[dict] = None     # kind-specific details
+
+    def as_dict(self) -> dict:
+        d = {"ts": self.ts, "pid": self.pid, "kind": self.kind,
+             "epoch": self.epoch}
+        if self.args:
+            d["args"] = self.args
+        return d
+
+
+class EventBus:
+    """Ordered in-memory event log with optional live subscribers."""
+
+    __slots__ = ("enabled", "events", "_subscribers")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.events: List[Event] = []
+        self._subscribers: List[Callable[[Event], None]] = []
+
+    # ------------------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def subscribe(self, fn: Callable[[Event], None]) -> None:
+        """Call ``fn(event)`` for every subsequently emitted event."""
+        self._subscribers.append(fn)
+
+    # ------------------------------------------------------------------
+
+    def emit(self, ts: float, pid: int, kind: str, epoch: int = 0,
+             args: Optional[dict] = None) -> None:
+        if not self.enabled:
+            return
+        ev = Event(ts=ts, pid=pid, kind=kind, epoch=epoch, args=args)
+        self.events.append(ev)
+        for fn in self._subscribers:
+            fn(ev)
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def counts(self) -> Dict[str, int]:
+        """Number of recorded events per kind."""
+        out: Dict[str, int] = {}
+        for ev in self.events:
+            out[ev.kind] = out.get(ev.kind, 0) + 1
+        return out
+
+    def filter(self, kinds: Optional[Iterable[str]] = None,
+               pid: Optional[int] = None,
+               prefix: Optional[str] = None) -> List[Event]:
+        """Time-ordered events restricted by kind set / pid / kind prefix."""
+        kindset = set(kinds) if kinds is not None else None
+        out = []
+        for ev in sorted(self.events, key=lambda e: (e.ts, e.pid)):
+            if kindset is not None and ev.kind not in kindset:
+                continue
+            if prefix is not None and not ev.kind.startswith(prefix):
+                continue
+            if pid is not None and ev.pid != pid:
+                continue
+            out.append(ev)
+        return out

@@ -1,0 +1,90 @@
+"""Exporters: JSONL event log and Chrome-trace timeline.
+
+The Chrome-trace output loads directly into ``chrome://tracing`` or
+https://ui.perfetto.dev.  The simulated cluster maps onto one trace
+*process* whose *threads* are the simulated processors — one track per
+processor.  Spans become complete ("X") events, point events become
+instants ("i"), and per-kind event counts are attached as metadata.
+
+Timestamps are simulated microseconds, which is exactly the unit the
+trace-event format expects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+#: The single trace-process id all tracks live under.
+TRACE_PID = 0
+
+
+def events_jsonl(telemetry) -> str:
+    """Serialize every event (and span) as one JSON object per line.
+
+    Events carry ``"rec": "event"``; spans carry ``"rec": "span"``.
+    Lines are ordered by timestamp.
+    """
+    records = [dict(rec="event", **ev.as_dict())
+               for ev in telemetry.bus.events]
+    records += [dict(rec="span", ts=s.t0, dur=s.dur, **s.as_dict())
+                for s in telemetry.spans.spans]
+    records.sort(key=lambda r: (r["ts"], r["pid"]))
+    return "\n".join(json.dumps(r, sort_keys=True) for r in records)
+
+
+def write_jsonl(telemetry, path) -> None:
+    with open(path, "w") as fh:
+        fh.write(events_jsonl(telemetry))
+        fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+
+
+def _category(kind: str) -> str:
+    return kind.split(".", 1)[0] if "." in kind else kind
+
+
+def chrome_trace(telemetry) -> dict:
+    """Build the Chrome trace-event JSON object for one run."""
+    traces: List[dict] = [{
+        "ph": "M", "name": "process_name", "pid": TRACE_PID, "tid": 0,
+        "args": {"name": "repro simulated cluster"},
+    }]
+    for pid in telemetry.pids():
+        traces.append({
+            "ph": "M", "name": "thread_name", "pid": TRACE_PID,
+            "tid": pid, "args": {"name": f"P{pid}"},
+        })
+        traces.append({
+            "ph": "M", "name": "thread_sort_index", "pid": TRACE_PID,
+            "tid": pid, "args": {"sort_index": pid},
+        })
+    for s in telemetry.spans.spans:
+        traces.append({
+            "ph": "X", "name": s.name, "cat": _category(s.name),
+            "pid": TRACE_PID, "tid": s.pid, "ts": s.t0, "dur": s.dur,
+            "args": {"epoch": s.epoch},
+        })
+    for ev in telemetry.bus.events:
+        entry = {
+            "ph": "i", "name": ev.kind, "cat": _category(ev.kind),
+            "pid": TRACE_PID, "tid": ev.pid, "ts": ev.ts, "s": "t",
+            "args": dict(ev.args or {}, epoch=ev.epoch),
+        }
+        traces.append(entry)
+    return {
+        "traceEvents": traces,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.telemetry",
+            "event_counts": telemetry.counts(),
+            "metrics_total": telemetry.metrics.totals(),
+        },
+    }
+
+
+def write_chrome_trace(telemetry, path) -> None:
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(telemetry), fh)

@@ -1,0 +1,102 @@
+"""Unified metrics registry: per-node counters, cluster-wide totals.
+
+Subsumes the counters previously scattered over
+:class:`repro.tm.stats.TmStats` and :class:`repro.net.stats.NetStats`
+under one namespace:
+
+* ``tm.<field>`` — one metric per ``TmStats`` counter, incremented live
+  at the same protocol sites that bump the legacy counters (so the
+  aggregated totals match the legacy totals exactly);
+* ``tm.t_<phase>`` — the simulated-time breakdown, ingested per node at
+  the end of a run;
+* ``net.messages`` / ``net.bytes`` — total traffic (bytes include
+  per-message headers, as in ``NetStats``);
+* ``net.msgs.<kind>`` / ``net.bytes.<kind>`` — per-message-kind splits.
+
+``docs/observability.md`` maps the paper's Table 2 columns onto these
+names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+#: TmStats integer counters mirrored live at their increment sites.
+TM_COUNTER_FIELDS = (
+    "read_faults", "write_faults", "protect_ops", "twins_created",
+    "diffs_created", "diffs_applied", "diff_bytes_applied",
+    "full_pages_served", "lock_acquires", "lock_local_acquires",
+    "barriers", "validates", "pushes", "invalidations",
+)
+
+#: TmStats simulated-time fields ingested at end of run.
+TM_TIME_FIELDS = (
+    "t_compute", "t_protect", "t_twin", "t_diff",
+    "t_barrier_wait", "t_lock_wait", "t_fetch_wait",
+)
+
+
+class MetricsRegistry:
+    """Named numeric metrics, kept per simulated processor."""
+
+    def __init__(self) -> None:
+        self._per_node: Dict[int, Dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+
+    def inc(self, pid: int, name: str, value: float = 1) -> None:
+        node = self._per_node.get(pid)
+        if node is None:
+            node = self._per_node[pid] = {}
+        node[name] = node.get(name, 0) + value
+
+    def set(self, pid: int, name: str, value: float) -> None:
+        self._per_node.setdefault(pid, {})[name] = value
+
+    # ------------------------------------------------------------------
+
+    def pids(self) -> List[int]:
+        return sorted(self._per_node)
+
+    def names(self) -> List[str]:
+        out = set()
+        for node in self._per_node.values():
+            out.update(node)
+        return sorted(out)
+
+    def node(self, pid: int) -> Dict[str, float]:
+        """One processor's metrics (a copy)."""
+        return dict(self._per_node.get(pid, {}))
+
+    def get(self, pid: int, name: str, default: float = 0) -> float:
+        return self._per_node.get(pid, {}).get(name, default)
+
+    def total(self, name: str) -> float:
+        """Cluster-wide sum of ``name`` over every node."""
+        return sum(node.get(name, 0) for node in self._per_node.values())
+
+    def totals(self, prefix: Optional[str] = None) -> Dict[str, float]:
+        """Cluster-wide sums for every (or every ``prefix``-ed) metric."""
+        out: Dict[str, float] = {}
+        for node in self._per_node.values():
+            for name, value in node.items():
+                if prefix is not None and not name.startswith(prefix):
+                    continue
+                out[name] = out.get(name, 0) + value
+        return dict(sorted(out.items()))
+
+    def as_dict(self) -> dict:
+        """JSON-friendly dump: per-node metrics plus cluster totals."""
+        return {
+            "per_node": {pid: dict(sorted(node.items()))
+                         for pid, node in sorted(self._per_node.items())},
+            "total": self.totals(),
+        }
+
+    # ------------------------------------------------------------------
+
+    def ingest_tm_times(self, per_proc) -> None:
+        """Record each node's ``TmStats`` time breakdown as gauges."""
+        for pid, st in enumerate(per_proc):
+            for f in TM_TIME_FIELDS:
+                self.set(pid, f"tm.{f}", getattr(st, f))

@@ -116,6 +116,9 @@ class TmNode:
         self.image = MemoryImage(self.layout)
         self.pages = [PageMeta(i) for i in range(self.layout.npages)]
         self.stats = TmStats()
+        #: Optional :class:`repro.telemetry.Telemetry`; ``None`` keeps
+        #: every emit site down to a single attribute test.
+        self.tel = getattr(system, "telemetry", None)
         #: Post-run reconciliation mode: suppress cost charging and stats.
         self.offline = False
         self._atomic_depth = 0
@@ -213,6 +216,9 @@ class TmNode:
         self.stats.protect_ops += 1
         cost = self.cfg.protect_cost(page)
         self.stats.t_protect += cost
+        if self.tel is not None:
+            self.tel.count(self.pid, "tm.protect_ops")
+            self.tel.cpu(self.pid, "cpu.protect", cost)
         self._charge(cost)
 
     def _charge_protect_run(self, pages) -> None:
@@ -234,6 +240,9 @@ class TmNode:
             cost = (self.cfg.protect_cost(pages[i])
                     + self.cfg.prot_per_page * (j - i))
             self.stats.t_protect += cost
+            if self.tel is not None:
+                self.tel.count(self.pid, "tm.protect_ops")
+                self.tel.cpu(self.pid, "cpu.protect", cost)
             self._charge(cost)
             i = j + 1
 
@@ -283,6 +292,9 @@ class TmNode:
             if self.eager_diffing:
                 for p in pages:
                     self._flush_undiffed(p)
+        if self.tel is not None:
+            self.tel.event(self.pid, "tm.interval", index=rec.index,
+                           npages=len(rec.pages))
         return rec
 
     def _record_interval(self, rec: IntervalRecord) -> bool:
@@ -319,6 +331,11 @@ class TmNode:
                 if meta.valid or meta.write_enabled:
                     invalidate.append(p)
                     self.stats.invalidations += 1
+                    if self.tel is not None:
+                        self.tel.proto(self.pid, "tm.invalidate",
+                                       "tm.invalidations", page=p,
+                                       writer=rec.writer,
+                                       interval=rec.index)
                     meta.valid = False
                     meta.write_enabled = False
             self._charge_protect_run(invalidate)
@@ -373,6 +390,11 @@ class TmNode:
         self.stats.t_diff += cost
         self._charge(cost)
         self.stats.diffs_created += 1
+        if self.tel is not None:
+            self.tel.proto(self.pid, "tm.diff_create",
+                           "tm.diffs_created", page=page,
+                           interval=meta.undiffed)
+            self.tel.cpu(self.pid, "cpu.diff", cost)
         self.diff_store[(self.pid, meta.undiffed, page)] = diff
         meta.undiffed = None
         meta.twin = None
@@ -392,6 +414,10 @@ class TmNode:
             # WRITE_ALL interval: no twin was made; ship the whole page.
             self._charge(self.cfg.twin_cost)
             self.stats.full_pages_served += 1
+            if self.tel is not None:
+                self.tel.proto(self.pid, "tm.full_page",
+                               "tm.full_pages_served", page=page,
+                               interval=interval)
             return full_page_diff(page, self.pid, interval,
                                   self.image.page(page))
         raise ProtocolError(
@@ -423,6 +449,14 @@ class TmNode:
             self._charge(cost)
             self.stats.diffs_applied += 1
             self.stats.diff_bytes_applied += written
+            if self.tel is not None:
+                self.tel.proto(self.pid, "tm.diff_apply",
+                               "tm.diffs_applied", page=page,
+                               writer=rec.writer, interval=rec.index,
+                               bytes=written)
+                self.tel.count(self.pid, "tm.diff_bytes_applied",
+                               written)
+                self.tel.cpu(self.pid, "cpu.diff", cost)
             self.applied.add(dkey)
         meta.valid = True
 
@@ -464,6 +498,9 @@ class TmNode:
             msg = self.ep.recv(kind="diff_resp", src=w, tag=expected[w])
             self._store_diffs(msg.payload)
         self.stats.t_fetch_wait += self.sys.engine.now - t0
+        if self.tel is not None:
+            self.tel.span(self.pid, "wait.fetch", t0,
+                          self.sys.engine.now)
 
     def _fetch_and_apply(self, pages: Sequence[int]) -> None:
         pages = sorted(set(pages))
@@ -498,6 +535,9 @@ class TmNode:
             if self.pages[p].valid:
                 continue
             self.stats.read_faults += 1
+            if self.tel is not None:
+                self.tel.proto(self.pid, "tm.read_fault",
+                               "tm.read_faults", page=p)
             self._charge(self.cfg.protect_cost(p))
             if not self._complete_async_covering(p):
                 self._fetch_and_apply([p])
@@ -509,6 +549,9 @@ class TmNode:
             if meta.write_enabled:
                 continue
             self.stats.write_faults += 1
+            if self.tel is not None:
+                self.tel.proto(self.pid, "tm.write_fault",
+                               "tm.write_faults", page=p)
             self._charge(self.cfg.protect_cost(p))
             if self._complete_async_covering(p) and meta.write_enabled:
                 continue
@@ -526,6 +569,11 @@ class TmNode:
         self.stats.validates += 1
         pages = sorted({p for s in sections
                         for p in self.layout.pages_of(s)})
+        if self.tel is not None:
+            self.tel.proto(self.pid, "tm.validate", "tm.validates",
+                           npages=len(pages),
+                           access=access_type.value, w_sync=False,
+                           asynchronous=asynchronous)
         if access_type.fetches:
             fetch = [p for p in pages if not self.pages[p].valid]
         else:
@@ -563,6 +611,11 @@ class TmNode:
                                 asynchronous=True, fallback=True))
                 return
         self.stats.validates += 1
+        if self.tel is not None:
+            self.tel.proto(self.pid, "tm.validate", "tm.validates",
+                           nsections=len(sections),
+                           access=access_type.value, w_sync=True,
+                           asynchronous=asynchronous)
         self._wsync_queue.append(
             _WsyncEntry(list(sections), access_type, asynchronous))
 
@@ -689,6 +742,10 @@ class TmNode:
             self.stats.t_twin += self.cfg.twin_cost
             self._charge(self.cfg.twin_cost)
             self.stats.twins_created += 1
+            if self.tel is not None:
+                self.tel.proto(self.pid, "tm.twin", "tm.twins_created",
+                               page=page)
+                self.tel.cpu(self.pid, "cpu.twin", self.cfg.twin_cost)
         if not batched:
             self._charge_protect(page)
         meta.write_enabled = True
@@ -735,12 +792,17 @@ class TmNode:
 
     def lock_acquire(self, lid: int) -> None:
         self.stats.lock_acquires += 1
+        if self.tel is not None:
+            self.tel.proto(self.pid, "tm.lock_acquire",
+                           "tm.lock_acquires", lid=lid)
         self._drain_async_plans()
         sreq, wsync = self._take_wsync_request()
         if self._has_token(lid) and lid not in self.lock_held:
             # Re-acquiring the lock we released last: purely local.
             self._charge(self.cfg.local_lock_cost)
             self.stats.lock_local_acquires += 1
+            if self.tel is not None:
+                self.tel.count(self.pid, "tm.lock_local_acquires")
             self.lock_held.add(lid)
             self._complete_wsync(wsync)
             return
@@ -757,6 +819,9 @@ class TmNode:
         t0 = self.sys.engine.now
         msg = self.ep.recv(kind="lock_grant", tag=lid)
         self.stats.t_lock_wait += self.sys.engine.now - t0
+        if self.tel is not None:
+            self.tel.span(self.pid, "wait.lock", t0,
+                          self.sys.engine.now)
         granter_vc, recs, donated = msg.payload
         self._store_diffs(donated)
         self.apply_notices(recs, granter_vc)
@@ -767,6 +832,8 @@ class TmNode:
     def lock_release(self, lid: int) -> None:
         if lid not in self.lock_held:
             raise ProtocolError(f"P{self.pid} releasing unheld lock {lid}")
+        if self.tel is not None:
+            self.tel.event(self.pid, "tm.lock_release", lid=lid)
         self.end_interval()
         self.lock_held.discard(lid)
         pending = self.lock_pending.get(lid)
@@ -808,6 +875,9 @@ class TmNode:
 
     def _grant_lock(self, lid: int, requester: int, rvc: Tuple[int, ...],
                     sreq: Optional[SyncFetchRequest]) -> None:
+        if self.tel is not None:
+            self.tel.event(self.pid, "tm.lock_grant", lid=lid,
+                           to=requester)
         recs = self._intervals_after(rvc)
         donated: List[Diff] = []
         if sreq is not None:
@@ -825,6 +895,8 @@ class TmNode:
 
     def barrier(self) -> None:
         self.stats.barriers += 1
+        if self.tel is not None:
+            self.tel.barrier(self.pid)   # advances the barrier epoch
         self._drain_async_plans()
         sreq, wsync = self._take_wsync_request()
         self.end_interval()
@@ -837,6 +909,9 @@ class TmNode:
             while len(self._barrier_box) < self.nprocs:
                 self.proc.wait()
             self.stats.t_barrier_wait += self.sys.engine.now - t0
+            if self.tel is not None:
+                self.tel.span(self.pid, "wait.barrier", t0,
+                              self.sys.engine.now)
             self._barrier_finish()
         else:
             recs = self._intervals_after(self.master_seen_vc)
@@ -849,6 +924,9 @@ class TmNode:
             t0 = self.sys.engine.now
             msg = self.ep.recv(kind="barrier_depart")
             self.stats.t_barrier_wait += self.sys.engine.now - t0
+            if self.tel is not None:
+                self.tel.span(self.pid, "wait.barrier", t0,
+                              self.sys.engine.now)
             master_vc, recs, sreqs, gc_now = msg.payload
             self.apply_notices(recs, master_vc)
             self.master_seen_vc = list(master_vc)
@@ -978,6 +1056,9 @@ class TmNode:
         deferred to the first page fault on an expected page.
         """
         self.stats.pushes += 1
+        if self.tel is not None:
+            self.tel.proto(self.pid, "tm.push", "tm.pushes",
+                           asynchronous=asynchronous)
         rec = self.end_interval()
         index = rec.index if rec is not None else None
         self._push_round += 1
@@ -1046,6 +1127,9 @@ class TmNode:
                         self.applied.add((w, i, p))
                     if sender_index is not None:
                         self.applied.add((q, sender_index, p))
+        if self.tel is not None:
+            self.tel.span(self.pid, "wait.push", t0,
+                          self.sys.engine.now)
 
     # ==================================================================
     # Garbage collection (TreadMarks collects at barriers).
@@ -1060,6 +1144,9 @@ class TmNode:
         ever be needed again.
         """
         self.gc_rounds += 1
+        if self.tel is not None:
+            self.tel.event(self.pid, "tm.gc_validate",
+                           round=self.gc_rounds)
         # Outstanding asynchronous Validates/Pushes must complete first:
         # their plans reference records that phase 2 will discard.
         self._drain_async_plans()
@@ -1075,6 +1162,10 @@ class TmNode:
         Twins of still-undiffed intervals survive: a later local write
         fault flushes them into (now unrequestable, but harmless) diffs.
         """
+        if self.tel is not None:
+            self.tel.event(self.pid, "tm.gc_discard",
+                           nintervals=len(self.intervals),
+                           ndiffs=len(self.diff_store))
         self.intervals.clear()
         self._by_writer = [[] for _ in range(self.nprocs)]
         self.page_notices.clear()

@@ -55,7 +55,8 @@ class TmSystem:
     def __init__(self, nprocs: int, layout: SharedLayout,
                  config: Optional[MachineConfig] = None,
                  gc_threshold: Optional[int] = None,
-                 eager_diffing: bool = False) -> None:
+                 eager_diffing: bool = False,
+                 telemetry=None) -> None:
         self.nprocs = nprocs
         self.layout = layout
         #: Interval-record count at which the barrier master triggers a
@@ -66,7 +67,13 @@ class TmSystem:
         base = config or MachineConfig()
         self.config = base.with_nprocs(nprocs)
         self.engine = Engine()
-        self.net = Network(self.engine, self.config, nprocs)
+        #: Optional :class:`repro.telemetry.Telemetry`; when set, every
+        #: layer (engine, network, nodes) reports into it.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.bind_engine(self.engine, nprocs)
+        self.net = Network(self.engine, self.config, nprocs,
+                           telemetry=telemetry)
         self.nodes: List[TmNode] = []
 
     def run(self, main: Callable[[TmNode], object]) -> RunResult:
@@ -94,6 +101,8 @@ class TmSystem:
             self.nodes.append(node)
         self.engine.run()
         per_proc = [replace(n.stats) for n in self.nodes]
+        if self.telemetry is not None:
+            self.telemetry.finalize_tm(per_proc)
         return RunResult(
             time=self.engine.now,
             stats=TmStats.total(per_proc),
@@ -113,6 +122,7 @@ class TmSystem:
         node0 = self.nodes[0]
         for node in self.nodes:
             node.offline = True
+            node.tel = None     # offline work must not count or trace
         try:
             image = MemoryImage(self.layout)
             image.buf[:] = node0.image.buf
@@ -132,3 +142,4 @@ class TmSystem:
         finally:
             for node in self.nodes:
                 node.offline = False
+                node.tel = self.telemetry

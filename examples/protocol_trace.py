@@ -1,11 +1,17 @@
 #!/usr/bin/env python
 """Watch the DSM protocol at work: trace a lock-migratory counter.
 
-Attaches a :class:`repro.tm.trace.Tracer` to a 3-processor run in which
-each processor increments a shared counter under a lock twice, then all
-meet at a barrier.  The trace shows the lazy-release-consistency
-machinery event by event: lock grants hopping along the requester
-chain, intervals closing at releases, the barrier's notice exchange.
+Traces a 3-processor run in which each processor increments a shared
+counter under a lock twice, then all meet at a barrier.  The trace shows
+the lazy-release-consistency machinery event by event: lock grants
+hopping along the requester chain, twins and diffs at write faults,
+intervals closing at releases, the barrier's notice exchange.
+
+:class:`repro.tm.trace.Tracer` is a legacy-shaped view over the unified
+telemetry event bus — ``Tracer.attach`` wires a
+:class:`repro.telemetry.Telemetry` into the system, so the same run also
+yields span profiles and Chrome-trace export through
+``system.telemetry``, and the full analyses via ``repro.inspect``.
 
 Usage:  python examples/protocol_trace.py
 """
@@ -34,6 +40,16 @@ def main() -> None:
     print(f"final counter: {res.returns[0]} (expected 6.0)\n")
     print(tracer.format())
     print("\nEvent counts:", dict(sorted(tracer.counts().items())))
+
+    # The same capture feeds the contention profiler: per-lock wait time.
+    from repro.inspect import ContentionProfile
+    prof = ContentionProfile.from_telemetry(system.telemetry)
+    for lock in prof.hot_locks():
+        print(f"\nlock {lock.lid}: {lock.acquires} acquires, "
+              f"{lock.grants} remote grants, "
+              f"{lock.total_wait:.1f}us total wait "
+              f"(max {lock.max_wait:.1f}us)")
+
     print(f"\nTotal: {res.messages} messages, "
           f"{res.stats.segv} page faults, "
           f"{res.stats.diffs_created} diffs created, "

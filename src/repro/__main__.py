@@ -1,4 +1,4 @@
-"""Command-line entry point: paper artifacts and trace capture.
+"""Command-line entry point: paper artifacts, traces, and inspection.
 
 Usage::
 
@@ -6,6 +6,8 @@ Usage::
     python -m repro table2 figure5
     python -m repro all --nprocs 8 --dataset bench
     python -m repro trace jacobi --out trace.json
+    python -m repro inspect jacobi --mode dsm --opt aggr
+    python -m repro check [--update-baselines]
 """
 
 from __future__ import annotations
@@ -96,14 +98,116 @@ def trace_main(argv) -> int:
     return 0
 
 
+def inspect_main(argv) -> int:
+    """``python -m repro inspect <app>``: protocol inspection report."""
+    import json
+
+    from repro.apps import all_apps
+    from repro.harness import MODES, RunSpec
+    from repro.inspect import inspect_run
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro inspect",
+        description="Run one application with telemetry and print the "
+                    "protocol inspection report: hot pages, "
+                    "lock/barrier contention, critical path.")
+    parser.add_argument("app", choices=sorted(all_apps()),
+                        help="application to inspect")
+    parser.add_argument("--mode", default="dsm", choices=sorted(MODES))
+    parser.add_argument("--dataset", default="tiny")
+    parser.add_argument("--nprocs", type=int, default=4)
+    parser.add_argument("--page-size", type=int, default=1024)
+    parser.add_argument("--opt", default="aggr",
+                        help="DSM optimization level (base, aggr, "
+                             "aggr+cons, merge, push)")
+    parser.add_argument("--top", type=int, default=10,
+                        help="rows per ranking table")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also export the full report as JSON "
+                             "('-' for stdout)")
+    parser.add_argument("--page", type=int, default=None,
+                        help="also print this page's full transition "
+                             "timeline")
+    args = parser.parse_args(argv)
+
+    spec = RunSpec(app=args.app, mode=args.mode, dataset=args.dataset,
+                   nprocs=args.nprocs, page_size=args.page_size,
+                   opt=args.opt if args.mode == "dsm" else None,
+                   telemetry=True)
+    rep = inspect_run(spec)
+    if args.json == "-":
+        print(json.dumps(rep.as_dict(args.top), indent=2))
+    else:
+        print(rep.render(args.top))
+        if args.page is not None:
+            print(f"\nTimeline of page {args.page}")
+            print("=" * (17 + len(str(args.page))))
+            for tr in rep.timelines.timeline(args.page):
+                print(tr)
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(rep.as_dict(args.top), fh, indent=2)
+                fh.write("\n")
+            print(f"\nwrote {args.json}")
+    return 0 if not rep.reconcile() else 1
+
+
+def check_main(argv) -> int:
+    """``python -m repro check``: protocol-baseline regression gate."""
+    from repro.inspect import baseline
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro check",
+        description="Re-run the protocol baseline matrix and compare "
+                    "counts against benchmarks/baselines/protocol.json. "
+                    "Counts must match exactly; simulated time within "
+                    "a relative tolerance.")
+    parser.add_argument("--update-baselines", action="store_true",
+                        help="rewrite the baseline file from this run "
+                             "(after an intentional protocol change)")
+    parser.add_argument("--baselines", default=None, metavar="PATH",
+                        help="baseline JSON path (default: "
+                             "benchmarks/baselines/protocol.json)")
+    parser.add_argument("--rtol", type=float,
+                        default=baseline.TIME_RTOL,
+                        help="relative tolerance for simulated time")
+    args = parser.parse_args(argv)
+
+    result = baseline.check(path=args.baselines,
+                            update=args.update_baselines,
+                            rtol=args.rtol)
+    if result.updated:
+        path = args.baselines or baseline.default_path()
+        print(f"updated {path} ({len(result.measured)} entries)")
+        return 0
+    for key in sorted(result.measured):
+        entry = result.measured[key]
+        print(f"  {key:<18} t={entry['time_us']:.1f}us "
+              f"messages={entry['messages']} "
+              f"bytes={entry['data_bytes']}")
+    if result.ok:
+        print(f"OK: {len(result.measured)} baseline entries match")
+        return 0
+    print(f"FAIL: {len(result.problems)} mismatches")
+    for p in result.problems:
+        print(f"  ! {p}")
+    return 1
+
+
+SUBCOMMANDS = {"trace": trace_main, "inspect": inspect_main,
+               "check": check_main}
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
-    if argv and argv[0] == "trace":
-        return trace_main(argv[1:])
+    if argv and argv[0] in SUBCOMMANDS:
+        return SUBCOMMANDS[argv[0]](argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Regenerate the paper's evaluation artifacts "
-                    "(or capture a trace: python -m repro trace -h).")
+        description="Regenerate the paper's evaluation artifacts.  "
+                    "Subcommands: trace (Chrome-trace capture), inspect "
+                    "(protocol inspection report), check (baseline "
+                    "regression gate); see 'python -m repro <sub> -h'.")
     parser.add_argument("artifacts", nargs="+",
                         choices=sorted(ARTIFACTS) + ["all"],
                         help="which tables/figures to regenerate")

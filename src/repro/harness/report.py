@@ -15,22 +15,20 @@ def _fmt(value, width: int = 7, digits: int = 2) -> str:
 
 def render_table(title: str, headers: List[str], rows: List[List],
                  note: Optional[str] = None) -> str:
+    # Format every cell once at its natural width, derive column widths
+    # from the rendered strings, then pad — so a cell can never render
+    # wider than the width it was measured at.
+    cells = [[cell if isinstance(cell, str) else _fmt(cell, width=1)
+              for cell in row] for row in rows]
     widths = [max(len(h), 7) for h in headers]
-    for row in rows:
-        for i, cell in enumerate(row):
-            widths[i] = max(widths[i], len(_fmt(cell).strip())
-                            if not isinstance(cell, str) else len(cell))
+    for row in cells:
+        for i, text in enumerate(row):
+            widths[i] = max(widths[i], len(text))
     out = [title, "=" * len(title)]
     out.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
     out.append("  ".join("-" * w for w in widths))
-    for row in rows:
-        cells = []
-        for cell, w in zip(row, widths):
-            if isinstance(cell, str):
-                cells.append(cell.rjust(w))
-            else:
-                cells.append(_fmt(cell, w))
-        out.append("  ".join(cells))
+    for row in cells:
+        out.append("  ".join(t.rjust(w) for t, w in zip(row, widths)))
     if note:
         out.append("")
         out.append(note)

@@ -1,0 +1,184 @@
+"""Regression-gated protocol baselines (Table 2-style counts).
+
+The simulator is deterministic, so every protocol counter — faults,
+twins, diffs, invalidations, messages, bytes — is exactly reproducible
+for a given (app, mode, opt, dataset, nprocs, page size).  That makes
+the counts usable as CI regression gates: ``python -m repro check``
+re-runs a small matrix and compares against the checked-in JSON under
+``benchmarks/baselines/``; any drifted integer fails the build.  Only
+simulated *time* is compared with a tolerance (``rtol``), since cost-
+model refactors may reorder float accumulation without changing the
+protocol.
+
+``python -m repro check --update-baselines`` rewrites the file after an
+intentional protocol change; the diff then documents exactly which
+counters moved.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.harness.spec import RunSpec, run
+
+#: Counters compared exactly (integers; any drift is a regression).
+COUNT_FIELDS = (
+    "read_faults", "write_faults", "protect_ops", "twins_created",
+    "diffs_created", "diffs_applied", "diff_bytes_applied",
+    "full_pages_served", "lock_acquires", "lock_local_acquires",
+    "barriers", "validates", "pushes", "invalidations",
+)
+
+#: Relative tolerance for simulated time (floats only).
+TIME_RTOL = 1e-6
+
+#: The CI matrix: tiny datasets, 4 processors, small pages so the tiny
+#: arrays still span multiple pages and the protocol actually works.
+DEFAULT_MATRIX = tuple(
+    dict(app=app, mode=mode, opt=opt, dataset="tiny", nprocs=4,
+         page_size=1024)
+    for app, mode, opt in (
+        ("jacobi", "dsm", "base"),
+        ("jacobi", "dsm", "aggr"),
+        ("jacobi", "dsm", "push"),
+        ("jacobi", "mp", None),
+        ("is", "dsm", "base"),
+        ("is", "dsm", "aggr"),
+        ("is", "mp", None),
+    ))
+
+
+def default_path() -> Path:
+    return (Path(__file__).resolve().parents[3]
+            / "benchmarks" / "baselines" / "protocol.json")
+
+
+def entry_key(spec: dict) -> str:
+    key = f"{spec['app']}/{spec['mode']}"
+    if spec.get("opt"):
+        key += f"/{spec['opt']}"
+    return key
+
+
+# ----------------------------------------------------------------------
+# Collection.
+# ----------------------------------------------------------------------
+
+def measure(spec: dict) -> dict:
+    """Run one matrix entry (untraced — counters only) and summarize."""
+    out = run(RunSpec(**spec))
+    entry: dict = {
+        "config": {k: v for k, v in spec.items() if v is not None},
+        "time_us": out.time,
+        "messages": out.messages,
+        "data_bytes": out.data_bytes,
+    }
+    if out.stats is not None:
+        entry["counts"] = {f: getattr(out.stats, f)
+                           for f in COUNT_FIELDS}
+        net = getattr(out, "net", None)
+        if net is not None:
+            entry["messages_by_kind"] = {
+                k: net.by_kind[k] for k in sorted(net.by_kind)}
+    return entry
+
+
+def collect(matrix=DEFAULT_MATRIX) -> Dict[str, dict]:
+    return {entry_key(spec): measure(spec) for spec in matrix}
+
+
+# ----------------------------------------------------------------------
+# Comparison.
+# ----------------------------------------------------------------------
+
+def compare_entry(key: str, expected: dict, actual: dict,
+                  rtol: float = TIME_RTOL) -> List[str]:
+    """Mismatch descriptions for one baseline entry (empty = match).
+
+    Integer counts must match exactly; ``time_us`` within ``rtol``.
+    """
+    problems: List[str] = []
+    for name in ("messages", "data_bytes"):
+        if expected.get(name) != actual.get(name):
+            problems.append(f"{key}: {name} expected "
+                            f"{expected.get(name)}, got "
+                            f"{actual.get(name)}")
+    for scope in ("counts", "messages_by_kind"):
+        exp = expected.get(scope, {})
+        act = actual.get(scope, {})
+        for name in sorted(set(exp) | set(act)):
+            if exp.get(name, 0) != act.get(name, 0):
+                problems.append(
+                    f"{key}: {scope}.{name} expected "
+                    f"{exp.get(name, 0)}, got {act.get(name, 0)}")
+    t_exp, t_act = expected.get("time_us"), actual.get("time_us")
+    if t_exp is not None and t_act is not None:
+        if abs(t_act - t_exp) > rtol * max(1.0, abs(t_exp)):
+            problems.append(f"{key}: time_us expected {t_exp!r}, got "
+                            f"{t_act!r} (rtol {rtol})")
+    return problems
+
+
+def compare(expected: Dict[str, dict], actual: Dict[str, dict],
+            rtol: float = TIME_RTOL) -> List[str]:
+    problems: List[str] = []
+    for key in sorted(set(expected) | set(actual)):
+        if key not in actual:
+            problems.append(f"{key}: present in baselines but not "
+                            "measured")
+        elif key not in expected:
+            problems.append(f"{key}: measured but missing from "
+                            "baselines (run --update-baselines)")
+        else:
+            problems.extend(compare_entry(key, expected[key],
+                                          actual[key], rtol))
+    return problems
+
+
+# ----------------------------------------------------------------------
+# The check driver.
+# ----------------------------------------------------------------------
+
+@dataclass
+class CheckResult:
+    ok: bool
+    problems: List[str] = field(default_factory=list)
+    measured: Dict[str, dict] = field(default_factory=dict)
+    updated: bool = False
+
+
+def load(path: Optional[Path] = None) -> Dict[str, dict]:
+    path = default_path() if path is None else Path(path)
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def save(baselines: Dict[str, dict],
+         path: Optional[Path] = None) -> Path:
+    path = default_path() if path is None else Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(baselines, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def check(path: Optional[Path] = None, matrix=DEFAULT_MATRIX,
+          update: bool = False, rtol: float = TIME_RTOL) -> CheckResult:
+    """Re-measure the matrix and compare (or rewrite) the baselines."""
+    measured = collect(matrix)
+    path = default_path() if path is None else Path(path)
+    if update:
+        save(measured, path)
+        return CheckResult(ok=True, measured=measured, updated=True)
+    if not path.exists():
+        return CheckResult(
+            ok=False, measured=measured,
+            problems=[f"no baselines at {path}; run "
+                      "'python -m repro check --update-baselines'"])
+    problems = compare(load(path), measured, rtol)
+    return CheckResult(ok=not problems, problems=problems,
+                       measured=measured)

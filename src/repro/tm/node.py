@@ -293,8 +293,10 @@ class TmNode:
                 for p in pages:
                     self._flush_undiffed(p)
         if self.tel is not None:
+            # ``pages`` lets repro.inspect replay the write-protection of
+            # the dirty set when reconstructing per-page state machines.
             self.tel.event(self.pid, "tm.interval", index=rec.index,
-                           npages=len(rec.pages))
+                           npages=len(rec.pages), pages=rec.pages)
         return rec
 
     def _record_interval(self, rec: IntervalRecord) -> bool:
@@ -384,20 +386,26 @@ class TmNode:
         meta = self.pages[page]
         if meta.undiffed is None:
             return
-        diff = make_diff(page, self.pid, meta.undiffed, meta.twin,
+        interval = meta.undiffed
+        diff = make_diff(page, self.pid, interval, meta.twin,
                          self.image.page(page))
+        # Claim the flush and publish the diff BEFORE charging the
+        # creation cost: _charge can yield to the engine, and a diff_req
+        # interrupt for this same (page, interval) would otherwise
+        # re-enter here and flush a second time (double-counting
+        # diffs_created and double-charging the CPU).
+        meta.undiffed = None
+        meta.twin = None
+        self.diff_store[(self.pid, interval, page)] = diff
         cost = self.cfg.diff_create_cost(self.layout.page_size)
         self.stats.t_diff += cost
-        self._charge(cost)
         self.stats.diffs_created += 1
         if self.tel is not None:
             self.tel.proto(self.pid, "tm.diff_create",
                            "tm.diffs_created", page=page,
-                           interval=meta.undiffed)
+                           interval=interval)
             self.tel.cpu(self.pid, "cpu.diff", cost)
-        self.diff_store[(self.pid, meta.undiffed, page)] = diff
-        meta.undiffed = None
-        meta.twin = None
+        self._charge(cost)
 
     def _get_or_make_diff(self, page: int, interval: int) -> Diff:
         """Server side: produce my diff for (page, interval)."""
@@ -459,6 +467,12 @@ class TmNode:
                 self.tel.cpu(self.pid, "cpu.diff", cost)
             self.applied.add(dkey)
         meta.valid = True
+        if self.tel is not None:
+            # The single point where a page becomes readable from diffs
+            # (fetch, validate, w_sync completion, GC validation) — even
+            # when every needed diff was already applied and the loop
+            # above recorded nothing.
+            self.tel.event(self.pid, "tm.page_valid", page=page)
 
     # ==================================================================
     # Fetching (the communication side of Validate and of page faults).
@@ -694,12 +708,16 @@ class TmNode:
             for p in protect:
                 self.pages[p].write_enabled = False
             self._charge_protect_run(protect)
+            if protect and self.tel is not None:
+                self.tel.event(self.pid, "tm.protect_down",
+                               pages=tuple(protect))
             return
         if access_type.overwrites:
             fully: Set[int] = set()
             for s in sections:
                 fully |= self.layout.pages_fully_covered(s)
             enable = []
+            overwritten = []
             for p in pages:
                 meta = self.pages[p]
                 if p in fully:
@@ -719,12 +737,16 @@ class TmNode:
                     meta.valid = True
                     meta.dirty = True
                     self.dirty.add(p)
+                    overwritten.append(p)
                 else:
                     was = meta.write_enabled
                     self._enable_with_twin(p, batched=True)
                     if not was:
                         enable.append(p)
             self._charge_protect_run(enable)
+            if overwritten and self.tel is not None:
+                self.tel.event(self.pid, "tm.overwrite",
+                               pages=tuple(overwritten))
             return
         # WRITE / READ_WRITE: keep consistency armed but pre-pay it.
         enable = [p for p in pages if not self.pages[p].write_enabled]
@@ -751,6 +773,8 @@ class TmNode:
         meta.write_enabled = True
         meta.dirty = True
         self.dirty.add(page)
+        if self.tel is not None:
+            self.tel.event(self.pid, "tm.write_enable", page=page)
 
     def _drain_async_plans(self) -> None:
         """Complete outstanding asynchronous operations.
@@ -1096,6 +1120,9 @@ class TmNode:
                             pages.add(p)
                             self.pages[p].valid = False
             if senders:
+                if pages and self.tel is not None:
+                    self.tel.event(self.pid, "tm.push_expect",
+                                   pages=tuple(sorted(pages)))
                 self._async_push_plans.append(
                     AsyncPushPlan(round_tag, senders, pages))
             return
@@ -1120,13 +1147,17 @@ class TmNode:
                 # read before the next global synchronization.  Mark the
                 # pages valid and subsume every notice we know of -- a
                 # later fault must not re-apply older diffs on top.
-                for p in self.layout.pages_of(sec):
+                sec_pages = tuple(self.layout.pages_of(sec))
+                for p in sec_pages:
                     meta = self.pages[p]
                     meta.valid = True
                     for (w, i) in self.page_notices.get(p, []):
                         self.applied.add((w, i, p))
                     if sender_index is not None:
                         self.applied.add((q, sender_index, p))
+                if sec_pages and self.tel is not None:
+                    self.tel.event(self.pid, "tm.push_recv",
+                                   pages=sec_pages, src=q)
         if self.tel is not None:
             self.tel.span(self.pid, "wait.push", t0,
                           self.sys.engine.now)

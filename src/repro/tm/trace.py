@@ -1,10 +1,13 @@
-"""Optional protocol event tracing.
+"""Optional protocol event tracing — a thin view over the telemetry bus.
 
-A :class:`Tracer` attached to a :class:`~repro.tm.system.TmSystem`
-records a compact, time-ordered log of protocol events — faults,
-fetches, interval creation, lock grants, barrier rounds, validates,
-pushes.  Invaluable when a protocol change misbehaves: the lost-update
-bug described in DESIGN.md was found by exactly this kind of trace.
+Historically the :class:`Tracer` wrapped every node's protocol entry
+points with recording hooks — a second, parallel instrumentation path.
+The nodes now report every protocol occurrence to the unified
+:class:`repro.telemetry.Telemetry` event bus, so the tracer is just a
+*view*: :meth:`Tracer.attach` ensures the system is traced (creating a
+:class:`~repro.telemetry.Telemetry` if none is set) and the legacy
+``events`` / ``filter`` / ``format`` / ``counts`` API renders the
+``tm.*`` events under their familiar short names.
 
 Usage::
 
@@ -13,20 +16,19 @@ Usage::
     system.run(main)
     print(tracer.format(kinds={"lock_grant", "interval"}))
 
-Tracing is off unless attached; the hooks add no cost to untraced runs.
+Tracing is off unless attached (or the system was constructed with a
+``telemetry=`` instance); untraced runs pay no cost.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Set
-
-from repro.tm.node import TmNode
+from typing import Iterable, List, Optional, Set
 
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One protocol event."""
+    """One protocol event (legacy rendering of a bus event)."""
 
     time: float
     pid: int
@@ -38,75 +40,70 @@ class TraceEvent:
                f"{self.detail}"
 
 
-class Tracer:
-    """Records protocol events from every node of a system."""
+#: ``tm.*`` kinds whose legacy short name isn't just the stripped prefix.
+_RENAMES = {"tm.validate": "validate"}   # w_sync=True → "validate_ws"
 
-    def __init__(self) -> None:
-        self.events: List[TraceEvent] = []
-        self._nodes: List[TmNode] = []
+
+def _legacy(ev) -> Optional[TraceEvent]:
+    """Render one bus event in the legacy trace vocabulary."""
+    if not ev.kind.startswith("tm."):
+        return None
+    args = ev.args or {}
+    kind = ev.kind[3:]
+    if ev.kind == "tm.validate":
+        kind = "validate_ws" if args.get("w_sync") else "validate"
+    if kind == "interval":
+        detail = f"idx={args.get('index')} npages={args.get('npages')}"
+    elif kind == "lock_grant":
+        detail = f"lid={args.get('lid')} -> P{args.get('to')}"
+    elif kind in ("validate", "validate_ws"):
+        n = args.get("nsections", args.get("npages", "?"))
+        unit = "sections" if "nsections" in args else "pages"
+        detail = f"{n} {unit} {str(args.get('access', '')).upper()}"
+    else:
+        detail = " ".join(f"{k}={v}" for k, v in args.items()
+                          if k != "pages")
+    return TraceEvent(ev.ts, ev.pid, kind, detail)
+
+
+class Tracer:
+    """Legacy-shaped view of a system's telemetry event stream."""
+
+    def __init__(self, telemetry) -> None:
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
 
     @classmethod
     def attach(cls, system) -> "Tracer":
-        """Wrap the system's node factory so every node gets traced."""
-        tracer = cls()
-        original_run = system.run
+        """Ensure ``system`` is traced and return a view on its bus.
 
-        def traced_run(main):
-            def wrapped(node):
-                if node not in tracer._nodes:
-                    tracer.instrument(node)
-                return main(node)
-            return original_run(wrapped)
-
-        system.run = traced_run
-        return tracer
-
-    def instrument(self, node: TmNode) -> None:
-        """Wrap a node's protocol entry points to record events."""
-        self._nodes.append(node)
-        self._wrap(node, "end_interval", "interval",
-                   lambda a, r: None if r is None else
-                   f"idx={r.index} npages={len(r.pages)}")
-        self._wrap(node, "lock_acquire", "lock_acquire",
-                   lambda a, r: f"lid={a[0]}")
-        self._wrap(node, "lock_release", "lock_release",
-                   lambda a, r: f"lid={a[0]}")
-        self._wrap(node, "barrier", "barrier", lambda a, r: "")
-        self._wrap(node, "validate", "validate",
-                   lambda a, r: f"{len(a[0])} sections "
-                                f"{a[1].value.upper()}")
-        self._wrap(node, "validate_w_sync", "validate_ws",
-                   lambda a, r: f"{len(a[0])} sections "
-                                f"{a[1].value.upper()}")
-        self._wrap(node, "push", "push", lambda a, r: "")
-        self._wrap(node, "_read_fault_record", "read_fault",
-                   None, optional=True)
-        self._wrap(node, "_gc_validate", "gc_validate", lambda a, r: "")
-        self._wrap(node, "_gc_discard", "gc_discard", lambda a, r: "")
-        self._wrap(node, "_grant_lock", "lock_grant",
-                   lambda a, r: f"lid={a[0]} -> P{a[1]}")
-
-    def _wrap(self, node: TmNode, name: str, kind: str,
-              fmt: Optional[Callable], optional: bool = False) -> None:
-        original = getattr(node, name, None)
-        if original is None:
-            if optional:
-                return
-            raise AttributeError(name)
-
-        def hooked(*args, **kwargs):
-            ret = original(*args, **kwargs)
-            detail = fmt(args, ret) if fmt else ""
-            if detail is not None:
-                self.events.append(TraceEvent(
-                    node.sys.engine.now, node.pid, kind, detail))
-            return ret
-
-        setattr(node, name, hooked)
+        Reuses the system's existing :class:`Telemetry` when present;
+        otherwise creates one and wires it into the system and its
+        network (nodes pick it up when ``run`` constructs them).
+        """
+        tel = system.telemetry
+        if tel is None:
+            from repro.telemetry import Telemetry
+            tel = Telemetry()
+            tel.bind_engine(system.engine, system.nprocs)
+            system.telemetry = tel
+            system.net.telemetry = tel
+            for node in system.nodes:    # attach after run(): rare but legal
+                node.tel = tel
+        return cls(tel)
 
     # ------------------------------------------------------------------
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """All protocol events so far, in legacy form."""
+        out = []
+        for ev in self.telemetry.bus.events:
+            legacy = _legacy(ev)
+            if legacy is not None:
+                out.append(legacy)
+        return out
 
     def filter(self, kinds: Optional[Iterable[str]] = None,
                pid: Optional[int] = None) -> List[TraceEvent]:

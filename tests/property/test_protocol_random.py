@@ -10,14 +10,22 @@ and access pattern.
 A second property: inserting *consistency-preserving* Validates (READ /
 WRITE / READ&WRITE) at arbitrary points must never change the result —
 they are pure prefetch hints (paper Figure 3: "preserves consistency").
+
+A third property: replaying the telemetry event stream of any such run
+through :class:`repro.inspect.PageTimelines` must produce legal page
+state machines only — no diff applied to a never-invalidated page, no
+write fault on a write-enabled page, no twin while a twin is live — and
+the reconstructed totals must equal the protocol's own ``TmStats``.
 """
 
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.inspect import PageTimelines
 from repro.memory import Section, SharedLayout
 from repro.rt import AccessType
+from repro.telemetry import Telemetry
 from repro.tm.system import TmSystem
 
 SIZE = 64   # elements of the shared array
@@ -60,10 +68,12 @@ def oracle(phases):
     return x, checks
 
 
-def run_dsm_program(nprocs, page_size, phases, validates=None):
+def run_dsm_program(nprocs, page_size, phases, validates=None,
+                    telemetry=False):
     layout = SharedLayout(page_size=page_size)
     layout.add_array("x", (SIZE,))
-    system = TmSystem(nprocs=nprocs, layout=layout)
+    system = TmSystem(nprocs=nprocs, layout=layout,
+                      telemetry=Telemetry() if telemetry else None)
 
     def main(node):
         x = node.array("x")
@@ -88,29 +98,16 @@ def run_dsm_program(nprocs, page_size, phases, validates=None):
     for pi, (writes, reads) in enumerate(phases):
         for p, lo, hi in reads:
             observed.append(res.returns[p].pop(0))
-    return snap["x"], observed, res
+    return snap["x"], observed, res, system.telemetry
 
 
-@given(phased_program())
-@settings(max_examples=40, deadline=None)
-def test_random_phased_program_matches_oracle(case):
-    nprocs, page_size, phases = case
-    expected_x, expected_checks = oracle(phases)
-    got_x, got_checks, _ = run_dsm_program(nprocs, page_size, phases)
-    np.testing.assert_allclose(got_x, expected_x)
-    np.testing.assert_allclose(got_checks, expected_checks)
-
-
-@given(phased_program(), st.data())
-@settings(max_examples=25, deadline=None)
-def test_consistency_preserving_validates_are_pure_hints(case, data):
-    nprocs, page_size, phases = case
+def random_validates(data, nprocs, nphases):
+    """0-2 random consistency-preserving Validates per (phase, pid)."""
     validates = {}
-    for pi in range(len(phases)):
+    for pi in range(nphases):
         for p in range(nprocs):
-            n = data.draw(st.integers(0, 2))
             entries = []
-            for _ in range(n):
+            for _ in range(data.draw(st.integers(0, 2))):
                 lo = data.draw(st.integers(0, SIZE - 1))
                 hi = data.draw(st.integers(lo, SIZE - 1))
                 atype = data.draw(st.sampled_from(
@@ -119,9 +116,27 @@ def test_consistency_preserving_validates_are_pure_hints(case, data):
                 entries.append((Section.of("x", (lo, hi)), atype))
             if entries:
                 validates[(pi, p)] = entries
+    return validates
+
+
+@given(phased_program())
+@settings(max_examples=40, deadline=None)
+def test_random_phased_program_matches_oracle(case):
+    nprocs, page_size, phases = case
     expected_x, expected_checks = oracle(phases)
-    got_x, got_checks, _ = run_dsm_program(nprocs, page_size, phases,
-                                           validates=validates)
+    got_x, got_checks, _, _ = run_dsm_program(nprocs, page_size, phases)
+    np.testing.assert_allclose(got_x, expected_x)
+    np.testing.assert_allclose(got_checks, expected_checks)
+
+
+@given(phased_program(), st.data())
+@settings(max_examples=25, deadline=None)
+def test_consistency_preserving_validates_are_pure_hints(case, data):
+    nprocs, page_size, phases = case
+    validates = random_validates(data, nprocs, len(phases))
+    expected_x, expected_checks = oracle(phases)
+    got_x, got_checks, _, _ = run_dsm_program(nprocs, page_size, phases,
+                                              validates=validates)
     np.testing.assert_allclose(got_x, expected_x)
     np.testing.assert_allclose(got_checks, expected_checks)
 
@@ -130,10 +145,30 @@ def test_consistency_preserving_validates_are_pure_hints(case, data):
 @settings(max_examples=10, deadline=None)
 def test_runs_are_deterministic(case):
     nprocs, page_size, phases = case
-    x1, c1, r1 = run_dsm_program(nprocs, page_size, phases)
-    x2, c2, r2 = run_dsm_program(nprocs, page_size, phases)
+    x1, c1, r1, _ = run_dsm_program(nprocs, page_size, phases)
+    x2, c2, r2, _ = run_dsm_program(nprocs, page_size, phases)
     np.testing.assert_array_equal(x1, x2)
     assert c1 == c2
     assert r1.time == r2.time
     assert r1.messages == r2.messages
     assert r1.stats.as_dict() == r2.stats.as_dict()
+
+
+@given(phased_program(), st.data())
+@settings(max_examples=25, deadline=None)
+def test_page_timelines_are_legal_and_reconcile(case, data):
+    """Replayed page state machines contain no illegal transitions, and
+    the reconstruction's totals equal the protocol's own TmStats —
+    whatever the schedule, page size, or injected Validate pattern."""
+    nprocs, page_size, phases = case
+    validates = random_validates(data, nprocs, len(phases))
+    _, _, res, tel = run_dsm_program(nprocs, page_size, phases,
+                                     validates=validates,
+                                     telemetry=True)
+    tl = PageTimelines.from_telemetry(tel)
+    assert tl.violations == []
+    totals = tl.totals()
+    for name in ("read_faults", "write_faults", "invalidations",
+                 "twins_created", "diffs_created", "diffs_applied",
+                 "diff_bytes_applied", "full_pages_served"):
+        assert totals[name] == getattr(res.stats, name), name

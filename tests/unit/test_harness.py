@@ -64,6 +64,29 @@ def test_render_table_handles_none_and_strings():
     assert "1.50" in text
 
 
+def test_render_table_aligns_wide_floats():
+    # Floats wider than _fmt's 7-char default (large simulated times)
+    # must widen their column, not overflow it.
+    text = render_table("T", ["app", "t"],
+                        [["jacobi", 12345678901.25], ["is", 1.5]])
+    lines = text.splitlines()
+    header, rule, row1, row2 = lines[2:6]
+    assert len(header) == len(rule) == len(row1) == len(row2)
+    assert "12345678901.25" in row1
+    # Columns stay aligned: every cell right-justified at one width.
+    assert row2.endswith("1.50")
+    assert row1.index("12345678901.25") + len("12345678901.25") \
+        == len(row1)
+
+
+def test_render_table_mixed_width_columns():
+    text = render_table("T", ["k", "v"],
+                        [["tiny", 0.5], ["huge", 98765432.109],
+                         ["none", None], ["int", 1234567890]])
+    lines = text.splitlines()
+    assert len({len(l) for l in lines[2:8]}) == 1
+
+
 def test_renderers_accept_driver_shapes():
     t1 = render_table1([{"app": "jacobi", "dataset": "bench",
                          "params": {"M": 2}, "paper_secs": None,

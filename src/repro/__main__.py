@@ -8,6 +8,7 @@ Usage::
     python -m repro trace jacobi --out trace.json
     python -m repro inspect jacobi --mode dsm --opt aggr
     python -m repro check [--update-baselines]
+    python -m repro chaos --apps jacobi is --intensity heavy
 """
 
 from __future__ import annotations
@@ -194,8 +195,67 @@ def check_main(argv) -> int:
     return 1
 
 
+def chaos_main(argv) -> int:
+    """``python -m repro chaos``: fault-injection robustness sweep."""
+    import json
+
+    from repro.apps import all_apps
+    from repro.harness import chaos
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Sweep apps x opt levels x fault intensities under "
+                    "deterministic fault injection with the reliable "
+                    "transport enabled.  Every faulted run must produce "
+                    "results bit-identical to the fault-free run; the "
+                    "table reports what the robustness cost (extra "
+                    "messages, retransmits, added simulated time).")
+    parser.add_argument("--apps", nargs="*", default=None,
+                        choices=sorted(all_apps()),
+                        help="applications to sweep (default: all)")
+    parser.add_argument("--opts", nargs="*", default=None,
+                        help="DSM optimization levels (default: every "
+                             "level applicable to each app)")
+    parser.add_argument("--intensity", nargs="*", default=None,
+                        choices=sorted(chaos.INTENSITIES),
+                        dest="intensities",
+                        help="fault intensities (default: all three)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="fault-plan RNG seed (same seed = same "
+                             "fault schedule)")
+    parser.add_argument("--dataset", default="tiny")
+    parser.add_argument("--nprocs", type=int, default=4)
+    parser.add_argument("--page-size", type=int, default=1024)
+    parser.add_argument("--no-inspect", action="store_true",
+                        help="skip the protocol-inspector invariant "
+                             "checks on each faulted run")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="export the sweep results as JSON "
+                             "('-' for stdout)")
+    args = parser.parse_args(argv)
+
+    cases = chaos.sweep(apps=args.apps, opts=args.opts,
+                        intensities=args.intensities, seed=args.seed,
+                        dataset=args.dataset, nprocs=args.nprocs,
+                        page_size=args.page_size,
+                        inspect=not args.no_inspect)
+    payload = {"seed": args.seed, "dataset": args.dataset,
+               "nprocs": args.nprocs, "page_size": args.page_size,
+               "cases": [c.as_dict() for c in cases]}
+    if args.json == "-":
+        print(json.dumps(payload, indent=2))
+    else:
+        print(chaos.render_chaos(cases))
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(payload, fh, indent=2)
+                fh.write("\n")
+            print(f"wrote {args.json}")
+    return 0 if all(c.ok for c in cases) else 1
+
+
 SUBCOMMANDS = {"trace": trace_main, "inspect": inspect_main,
-               "check": check_main}
+               "check": check_main, "chaos": chaos_main}
 
 
 def main(argv=None) -> int:
@@ -207,7 +267,8 @@ def main(argv=None) -> int:
         description="Regenerate the paper's evaluation artifacts.  "
                     "Subcommands: trace (Chrome-trace capture), inspect "
                     "(protocol inspection report), check (baseline "
-                    "regression gate); see 'python -m repro <sub> -h'.")
+                    "regression gate), chaos (fault-injection "
+                    "robustness sweep); see 'python -m repro <sub> -h'.")
     parser.add_argument("artifacts", nargs="+",
                         choices=sorted(ARTIFACTS) + ["all"],
                         help="which tables/figures to regenerate")

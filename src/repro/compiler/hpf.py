@@ -267,10 +267,11 @@ class XhpfRuntime(BaseRuntime):
 
 def lower_xhpf(program: Program, nprocs: int,
                config: Optional[MachineConfig] = None,
-               telemetry=None) -> XhpfResult:
+               telemetry=None, faults=None, transport=None) -> XhpfResult:
     """Compile and run the XHPF version of ``program``."""
     plan = compile_xhpf(program)
-    system = MpSystem(nprocs=nprocs, config=config, telemetry=telemetry)
+    system = MpSystem(nprocs=nprocs, config=config, telemetry=telemetry,
+                      faults=faults, transport=transport)
     runtimes: Dict[int, XhpfRuntime] = {}
 
     def main(comm):

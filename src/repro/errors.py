@@ -13,6 +13,18 @@ class SimulationDeadlock(SimulationError):
     """All processes are blocked and no events remain."""
 
 
+class ReceiveTimeout(SimulationError):
+    """A blocking receive with ``timeout=`` expired before a match."""
+
+
+class TransportError(SimulationError):
+    """The reliable transport exhausted its retry budget on a channel."""
+
+
+class FaultPlanError(ReproError):
+    """A fault-injection plan is malformed (bad probability, window...)."""
+
+
 class ProtocolError(ReproError):
     """The DSM protocol reached an invalid state."""
 

@@ -1,0 +1,10 @@
+"""Deterministic fault injection for the simulated cluster.
+
+See ``docs/robustness.md`` for the fault model and the chaos workflow.
+"""
+
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import FaultPlan, LinkFaults, NodeOutage, Partition
+
+__all__ = ["FaultPlan", "LinkFaults", "Partition", "NodeOutage",
+           "FaultInjector"]

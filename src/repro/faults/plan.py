@@ -1,0 +1,194 @@
+"""Declarative, seeded fault plans for the simulated interconnect.
+
+The paper's run-time assumes the SP/2's user-level MPL delivers every
+message reliably; a :class:`FaultPlan` removes that assumption in a
+controlled way.  A plan describes *what can go wrong on the fabric*:
+
+* per-link message **drop**, **duplication**, **reordering** and
+  **delay** probabilities (with an exponential extra-delay magnitude),
+* timed **partitions** — groups of processors that cannot exchange
+  messages during a window of simulated time,
+* timed **node outages** — a processor whose NIC goes silent (fail-stop
+  then restart): everything it sends or should receive during the
+  window is lost.
+
+Plans are *data*, not behavior: the same plan object can be printed,
+serialized into a chaos report, and replayed.  All randomness is drawn
+by :class:`repro.faults.inject.FaultInjector` from a dedicated
+``random.Random(plan.seed)`` stream, so identical seeds replay
+identical fault schedules — chaos runs are regression tests, not dice
+rolls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import FaultPlanError
+
+_PROB_FIELDS = ("drop", "dup", "reorder", "delay")
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Fault distribution for one directed (src, dst) link.
+
+    All four probabilities are evaluated independently per message;
+    ``delay_mean_us`` is the mean of the exponential extra latency used
+    by duplication, reordering and delay.
+    """
+
+    #: P(message silently lost on the wire).
+    drop: float = 0.0
+    #: P(the fabric delivers a second, later copy).
+    dup: float = 0.0
+    #: P(message held back long enough to overtake its successors).
+    reorder: float = 0.0
+    #: P(message delayed without reordering intent).
+    delay: float = 0.0
+    #: Mean of the exponential extra-delay distribution (microseconds).
+    delay_mean_us: float = 300.0
+
+    def __post_init__(self) -> None:
+        for name in _PROB_FIELDS:
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise FaultPlanError(
+                    f"LinkFaults.{name} must be a probability in "
+                    f"[0, 1], got {p!r}")
+        if self.delay_mean_us < 0:
+            raise FaultPlanError(
+                f"LinkFaults.delay_mean_us must be >= 0, got "
+                f"{self.delay_mean_us!r}")
+
+    @property
+    def quiet(self) -> bool:
+        return all(getattr(self, f) == 0.0 for f in _PROB_FIELDS)
+
+
+@dataclass(frozen=True)
+class Partition:
+    """During ``[t0, t1)`` processors in different groups cannot talk.
+
+    A processor absent from every group is unrestricted.  Messages
+    *departing* while the partition holds are lost (the fabric has no
+    store-and-forward across a partition).
+    """
+
+    t0: float
+    t1: float
+    groups: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if self.t1 <= self.t0:
+            raise FaultPlanError(
+                f"Partition window [{self.t0}, {self.t1}) is empty")
+        object.__setattr__(
+            self, "groups",
+            tuple(tuple(g) for g in self.groups))
+
+    def separates(self, src: int, dst: int, t: float) -> bool:
+        if not self.t0 <= t < self.t1:
+            return False
+        gsrc = gdst = None
+        for i, group in enumerate(self.groups):
+            if src in group:
+                gsrc = i
+            if dst in group:
+                gdst = i
+        return gsrc is not None and gdst is not None and gsrc != gdst
+
+
+@dataclass(frozen=True)
+class NodeOutage:
+    """Processor ``pid``'s NIC is dead during ``[t0, t1)``.
+
+    This models a fail-stop crash followed by a restart *at the network
+    level*: the node neither sends nor receives while down, and the
+    reliable transport's retries carry the traffic across the outage.
+    (The DES cannot restart a processor's computation mid-run, so the
+    process itself keeps its state — the outage is a transient
+    network-silent failure, the case the transport must survive.)
+    """
+
+    pid: int
+    t0: float
+    t1: float
+
+    def __post_init__(self) -> None:
+        if self.t1 <= self.t0:
+            raise FaultPlanError(
+                f"NodeOutage window [{self.t0}, {self.t1}) is empty")
+
+    def covers(self, t: float) -> bool:
+        return self.t0 <= t < self.t1
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A full, seeded description of what the fabric does wrong."""
+
+    seed: int = 0
+    #: Faults applied to every link without an explicit override.
+    default: LinkFaults = field(default_factory=LinkFaults)
+    #: Per-directed-link overrides keyed by (src, dst).
+    links: Mapping[Tuple[int, int], LinkFaults] = \
+        field(default_factory=dict)
+    partitions: Tuple[Partition, ...] = ()
+    outages: Tuple[NodeOutage, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "links", dict(self.links))
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+        object.__setattr__(self, "outages", tuple(self.outages))
+
+    # ------------------------------------------------------------------
+
+    def link(self, src: int, dst: int) -> LinkFaults:
+        return self.links.get((src, dst), self.default)
+
+    @classmethod
+    def uniform(cls, seed: int = 0, drop: float = 0.0, dup: float = 0.0,
+                reorder: float = 0.0, delay: float = 0.0,
+                delay_mean_us: float = 300.0, **kw) -> "FaultPlan":
+        """The common case: the same fault mix on every link."""
+        return cls(seed=seed,
+                   default=LinkFaults(drop=drop, dup=dup,
+                                      reorder=reorder, delay=delay,
+                                      delay_mean_us=delay_mean_us),
+                   **kw)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        d = self.default
+        parts = [f"seed={self.seed}",
+                 f"drop={d.drop:g} dup={d.dup:g} reorder={d.reorder:g} "
+                 f"delay={d.delay:g} (mean {d.delay_mean_us:g}us)"]
+        if self.links:
+            parts.append(f"{len(self.links)} per-link overrides")
+        if self.partitions:
+            parts.append(f"{len(self.partitions)} partitions")
+        if self.outages:
+            parts.append(f"{len(self.outages)} node outages")
+        return ", ".join(parts)
+
+    def as_dict(self) -> Dict[str, object]:
+        d = self.default
+        return {
+            "seed": self.seed,
+            "default": {f: getattr(d, f)
+                        for f in _PROB_FIELDS + ("delay_mean_us",)},
+            "links": {f"{s}->{t}": {f: getattr(lf, f)
+                                    for f in _PROB_FIELDS}
+                      for (s, t), lf in sorted(self.links.items())},
+            "partitions": [{"t0": p.t0, "t1": p.t1,
+                            "groups": [list(g) for g in p.groups]}
+                           for p in self.partitions],
+            "outages": [{"pid": o.pid, "t0": o.t0, "t1": o.t1}
+                        for o in self.outages],
+        }

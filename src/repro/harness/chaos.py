@@ -1,0 +1,194 @@
+"""Chaos sweep: prove the DSM survives an unreliable fabric unchanged.
+
+For every case (app x opt level x fault intensity) this harness runs the
+application twice — once on the perfect fabric, once under a seeded
+:class:`~repro.faults.FaultPlan` with the reliable transport enabled —
+and then asserts the *results are bit-identical*: the transport's
+exactly-once, in-order delivery must make injected drops, duplicates and
+reordering invisible to the protocol above it.  Each faulted run is also
+traced and fed through the protocol inspector, whose invariants
+(timeline legality, stat reconstruction, critical-path tiling) must all
+still hold.
+
+What faults *may* change is cost, and the sweep reports exactly that:
+extra messages (retransmits + acks), duplicate frames discarded, and
+added simulated time.
+
+Used by ``python -m repro chaos`` and the chaos-smoke CI job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.apps import all_apps, get_app
+from repro.errors import ReproError
+from repro.faults import FaultPlan
+from repro.harness import report
+from repro.harness.modes import applicable_levels
+from repro.harness.spec import RunSpec, run
+
+#: Named fault intensities: per-message probabilities applied uniformly
+#: to every link.  "heavy" matches the acceptance bar (10% drop + 10%
+#: duplicate + 10% reorder) and still must yield bit-identical results.
+INTENSITIES: Dict[str, Dict[str, float]] = {
+    "light": dict(drop=0.01, dup=0.01, reorder=0.01, delay=0.01),
+    "moderate": dict(drop=0.05, dup=0.05, reorder=0.05, delay=0.02),
+    "heavy": dict(drop=0.10, dup=0.10, reorder=0.10, delay=0.02),
+}
+
+
+@dataclass
+class ChaosCase:
+    """Outcome of one fault-free/faulted run pair."""
+
+    app: str
+    opt: Optional[str]
+    intensity: str
+    seed: int
+    identical: bool = False      # arrays bit-identical to fault-free run
+    violations: List[str] = field(default_factory=list)
+    error: Optional[str] = None  # TransportError / deadlock, if any
+    # Cost of robustness (faulted minus fault-free):
+    base_time: float = 0.0
+    time: float = 0.0
+    base_messages: int = 0
+    messages: int = 0
+    retransmits: int = 0
+    acks: int = 0
+    dup_frames_discarded: int = 0
+    faults_injected: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return (self.identical and not self.violations
+                and self.error is None)
+
+    @property
+    def extra_messages(self) -> int:
+        return self.messages - self.base_messages
+
+    @property
+    def added_time(self) -> float:
+        return self.time - self.base_time
+
+    def as_dict(self) -> dict:
+        return {
+            "app": self.app, "opt": self.opt,
+            "intensity": self.intensity, "seed": self.seed,
+            "ok": self.ok, "identical": self.identical,
+            "violations": list(self.violations), "error": self.error,
+            "base_time_us": self.base_time, "time_us": self.time,
+            "added_time_us": self.added_time,
+            "base_messages": self.base_messages,
+            "messages": self.messages,
+            "extra_messages": self.extra_messages,
+            "retransmits": self.retransmits, "acks": self.acks,
+            "dup_frames_discarded": self.dup_frames_discarded,
+            "faults_injected": self.faults_injected,
+        }
+
+
+def _arrays_identical(base: Dict[str, np.ndarray],
+                      faulted: Dict[str, np.ndarray]) -> bool:
+    if set(base) != set(faulted):
+        return False
+    return all(np.array_equal(base[name], faulted[name])
+               for name in base)
+
+
+def run_case(app: str, opt: Optional[str], intensity: str,
+             seed: int = 0, dataset: str = "tiny", nprocs: int = 4,
+             page_size: int = 1024, inspect: bool = True) -> ChaosCase:
+    """Run one app/opt pair fault-free and faulted; compare bit-by-bit."""
+    if intensity not in INTENSITIES:
+        raise ReproError(
+            f"unknown intensity {intensity!r}; expected one of "
+            f"{sorted(INTENSITIES)}")
+    case = ChaosCase(app=app, opt=opt, intensity=intensity, seed=seed)
+    spec = RunSpec(app=app, mode="dsm", dataset=dataset, nprocs=nprocs,
+                   opt=opt, page_size=page_size)
+    base = run(spec)
+    case.base_time = base.time
+    case.base_messages = base.net.messages
+
+    plan = FaultPlan.uniform(seed=seed, **INTENSITIES[intensity])
+    try:
+        out = run(spec, faults=plan, telemetry=True)
+    except Exception as exc:
+        case.error = f"{type(exc).__name__}: {exc}"
+        return case
+    case.time = out.time
+    case.messages = out.net.messages
+    case.retransmits = out.net.retransmits
+    case.acks = out.net.acks
+    case.dup_frames_discarded = out.net.dup_frames_discarded
+    case.faults_injected = out.net.faults_injected
+    case.identical = _arrays_identical(base.arrays, out.arrays)
+    if inspect:
+        from repro.inspect import InspectReport
+        rep = InspectReport.build(
+            out, title=f"{app}/dsm/{opt}/{intensity}")
+        case.violations = rep.reconcile()
+    return case
+
+
+def sweep(apps: Optional[Sequence[str]] = None,
+          opts: Optional[Sequence[str]] = None,
+          intensities: Optional[Sequence[str]] = None,
+          seed: int = 0, dataset: str = "tiny", nprocs: int = 4,
+          page_size: int = 1024,
+          inspect: bool = True) -> List[ChaosCase]:
+    """The chaos matrix: apps x applicable opt levels x intensities."""
+    names = sorted(apps) if apps else sorted(all_apps())
+    levels = sorted(intensities) if intensities \
+        else ("light", "moderate", "heavy")
+    cases: List[ChaosCase] = []
+    for app in names:
+        app_opts = sorted(applicable_levels(get_app(app)))
+        for opt in (opts if opts is not None else app_opts):
+            if opt not in app_opts:
+                continue        # e.g. 'push' asked for an app without it
+            for intensity in levels:
+                cases.append(run_case(
+                    app, opt, intensity, seed=seed, dataset=dataset,
+                    nprocs=nprocs, page_size=page_size,
+                    inspect=inspect))
+    return cases
+
+
+def render_chaos(cases: Sequence[ChaosCase]) -> str:
+    """Human-readable sweep table plus a one-line verdict."""
+    rows = []
+    for c in cases:
+        if c.error is not None:
+            status = "ERROR"
+        elif not c.identical:
+            status = "DIVERGED"
+        elif c.violations:
+            status = "INVARIANT"
+        else:
+            status = "ok"
+        rows.append([c.app, c.opt or "-", c.intensity, status,
+                     c.faults_injected, c.retransmits, c.acks,
+                     c.extra_messages, f"{c.added_time:+.0f}us"])
+    table = report.render_table(
+        "Chaos sweep: faulted vs fault-free (bit-identical required)",
+        ["app", "opt", "intensity", "status", "faults", "retx",
+         "acks", "+msgs", "+time"],
+        rows,
+        note="status 'ok' = results bit-identical, zero inspector "
+             "violations; +msgs counts retransmits and acks.")
+    bad = [c for c in cases if not c.ok]
+    verdict = (f"CHAOS OK: {len(cases)} cases survived bit-identically"
+               if not bad else
+               f"CHAOS FAIL: {len(bad)} of {len(cases)} cases diverged")
+    lines = [table, verdict]
+    for c in bad:
+        detail = c.error or ("result diverged" if not c.identical
+                             else "; ".join(c.violations))
+        lines.append(f"  ! {c.app}/{c.opt}/{c.intensity}: {detail}")
+    return "\n".join(lines)

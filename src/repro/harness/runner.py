@@ -46,14 +46,15 @@ def run_dsm(program: Program, nprocs: int,
             snapshot: bool = True,
             gc_threshold: Optional[int] = None,
             eager_diffing: bool = False,
-            telemetry=None) -> DsmOutcome:
+            telemetry=None, faults=None, transport=None) -> DsmOutcome:
     """Run on the (optionally compiler-optimized) TreadMarks DSM."""
     prog = transform(program, opt) if opt is not None else program
     layout = layout_for(prog, page_size=page_size)
     system = TmSystem(nprocs=nprocs, layout=layout, config=config,
                       gc_threshold=gc_threshold,
                       eager_diffing=eager_diffing,
-                      telemetry=telemetry)
+                      telemetry=telemetry, faults=faults,
+                      transport=transport)
 
     def main(node):
         Interpreter(prog, DsmRuntime(node, prog)).run()
@@ -66,9 +67,10 @@ def run_dsm(program: Program, nprocs: int,
 
 def run_mp(app, params: Dict[str, int], nprocs: int,
            config: Optional[MachineConfig] = None,
-           telemetry=None) -> MpOutcome:
+           telemetry=None, faults=None, transport=None) -> MpOutcome:
     """Run the hand-coded message-passing (PVMe) version."""
-    system = MpSystem(nprocs=nprocs, config=config, telemetry=telemetry)
+    system = MpSystem(nprocs=nprocs, config=config, telemetry=telemetry,
+                      faults=faults, transport=transport)
     result = system.run(lambda comm: app.mp_main(comm, dict(params)))
     arrays = {}
     if app.assemble_mp is not None:
@@ -78,7 +80,8 @@ def run_mp(app, params: Dict[str, int], nprocs: int,
 
 def run_xhpf(program: Program, nprocs: int,
              config: Optional[MachineConfig] = None,
-             telemetry=None) -> XhpfOutcome:
+             telemetry=None, faults=None, transport=None) -> XhpfOutcome:
     """Run the XHPF-like compiler-generated message-passing version."""
     from repro.compiler.hpf import lower_xhpf
-    return lower_xhpf(program, nprocs, config=config, telemetry=telemetry)
+    return lower_xhpf(program, nprocs, config=config, telemetry=telemetry,
+                      faults=faults, transport=transport)

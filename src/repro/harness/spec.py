@@ -23,10 +23,12 @@ from repro.apps import get_app
 from repro.apps.base import AppSpec
 from repro.compiler.transform import OptConfig
 from repro.errors import ReproError
+from repro.faults import FaultPlan
 from repro.harness.outcome import RunOutcome
 from repro.harness.runner import run_dsm, run_mp, run_seq, run_xhpf
 from repro.lang.nodes import Program
 from repro.machine.config import MachineConfig
+from repro.net import TransportConfig
 from repro.telemetry import Telemetry
 
 MODES = ("seq", "dsm", "xhpf", "mp")
@@ -56,6 +58,15 @@ class RunSpec:
     #: ``True`` to trace with a fresh :class:`Telemetry`, or pass an
     #: existing instance; ``False`` runs without any telemetry overhead.
     telemetry: Union[bool, Telemetry] = False
+    #: Optional :class:`repro.faults.FaultPlan` injecting deterministic
+    #: message faults (drops, duplicates, reordering, partitions,
+    #: outages).  Setting a plan auto-enables the reliable transport.
+    #: Not valid for ``seq`` runs (there is no network to break).
+    faults: Optional["FaultPlan"] = None
+    #: Reliable-transport control: ``None`` follows ``faults`` (on iff a
+    #: plan is set), ``True`` forces the default
+    #: :class:`repro.net.TransportConfig`, or pass an explicit config.
+    transport: Union[None, bool, "TransportConfig"] = None
 
     # ------------------------------------------------------------------
 
@@ -114,20 +125,26 @@ def run(spec: Union[RunSpec, str, AppSpec, Program], **overrides) -> RunOutcome:
     tel = spec.resolve_telemetry()
 
     if spec.mode == "seq":
+        if spec.faults is not None or spec.transport:
+            raise ReproError(
+                "mode 'seq' has no network: faults/transport do not apply")
         return run_seq(spec.resolve_program(), telemetry=tel)
     if spec.mode == "dsm":
         return run_dsm(spec.resolve_program(), nprocs=spec.nprocs,
                        opt=spec.resolve_opt(), config=spec.config,
                        page_size=spec.page_size, snapshot=spec.snapshot,
                        gc_threshold=spec.gc_threshold,
-                       eager_diffing=spec.eager_diffing, telemetry=tel)
+                       eager_diffing=spec.eager_diffing, telemetry=tel,
+                       faults=spec.faults, transport=spec.transport)
     if spec.mode == "xhpf":
         return run_xhpf(spec.resolve_program(), nprocs=spec.nprocs,
-                        config=spec.config, telemetry=tel)
+                        config=spec.config, telemetry=tel,
+                        faults=spec.faults, transport=spec.transport)
     # mp: needs the hand-coded main from the AppSpec.
     app = spec.resolve_app()
     if app is None:
         raise ReproError("mode 'mp' needs an app name or AppSpec, "
                          "not a raw Program")
     return run_mp(app, spec.resolve_params(), nprocs=spec.nprocs,
-                  config=spec.config, telemetry=tel)
+                  config=spec.config, telemetry=tel,
+                  faults=spec.faults, transport=spec.transport)

@@ -20,14 +20,23 @@ studies are easy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
+
+from repro.errors import ReproError
+
+#: Fields that must be strictly positive (a zero would divide by zero
+#: or make the cluster degenerate).
+_POSITIVE_FIELDS = ("nprocs", "page_size", "bandwidth")
 
 
 @dataclass(frozen=True)
 class MachineConfig:
     """Timing and sizing parameters of the simulated cluster.
 
-    All times are in microseconds, sizes in bytes.
+    All times are in microseconds, sizes in bytes.  Every field is
+    validated at construction: negative costs/latencies, a zero page
+    size or zero bandwidth raise a :class:`~repro.errors.ReproError`
+    immediately instead of corrupting a simulation half-way through.
     """
 
     nprocs: int = 8
@@ -91,6 +100,27 @@ class MachineConfig:
     #: when servicing a Fetch_diffs_w_sync at a barrier (the "going through
     #: a large page list" overhead of Section 3.3), per page examined.
     sync_merge_scan_per_page: float = 1.5
+
+    # --- validation ------------------------------------------------------
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool):
+                raise ReproError(
+                    f"MachineConfig.{f.name} must be a number, got "
+                    f"{value!r}")
+            if f.name in _POSITIVE_FIELDS:
+                if value <= 0:
+                    raise ReproError(
+                        f"MachineConfig.{f.name} must be > 0, got "
+                        f"{value!r}")
+            elif value < 0:
+                raise ReproError(
+                    f"MachineConfig.{f.name} must be >= 0, got "
+                    f"{value!r} (negative costs/latencies would let "
+                    f"simulated time run backwards)")
 
     # --- derived helpers -------------------------------------------------
 

@@ -32,7 +32,7 @@ class MpSystem:
 
     def __init__(self, nprocs: int,
                  config: Optional[MachineConfig] = None,
-                 telemetry=None) -> None:
+                 telemetry=None, faults=None, transport=None) -> None:
         self.nprocs = nprocs
         base = config or MachineConfig()
         self.config = base.with_nprocs(nprocs)
@@ -43,7 +43,8 @@ class MpSystem:
         if telemetry is not None:
             telemetry.bind_engine(self.engine, nprocs)
         self.net = Network(self.engine, self.config, nprocs,
-                           telemetry=telemetry)
+                           telemetry=telemetry, faults=faults,
+                           transport=transport)
 
     def run(self, main: Callable[[MpComm], object]) -> MpRunResult:
         comms: List[MpComm] = []

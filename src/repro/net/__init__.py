@@ -1,7 +1,11 @@
-"""Simulated interconnect: point-to-point messages, handlers, statistics."""
+"""Simulated interconnect: point-to-point messages, handlers, statistics,
+and the optional reliable transport that survives injected faults."""
 
 from repro.net.message import Message
 from repro.net.network import Endpoint, Network
 from repro.net.stats import NetStats
+from repro.net.transport import (ACK_KIND, ReliableTransport,
+                                 TransportConfig)
 
-__all__ = ["Message", "Endpoint", "Network", "NetStats"]
+__all__ = ["Message", "Endpoint", "Network", "NetStats",
+           "TransportConfig", "ReliableTransport", "ACK_KIND"]

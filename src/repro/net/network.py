@@ -16,13 +16,21 @@ Two delivery paths exist, mirroring the SP/2 MPL usage in the paper:
 Message-passing systems in the paper (PVMe, XHPF) ran with interrupts
 disabled; they simply never register handlers, so all their traffic takes
 the mailbox path and never pays the interrupt cost.
+
+A third, optional stage sits between the two: when the network is built
+with a :class:`~repro.faults.FaultPlan` (and/or a
+:class:`~repro.net.transport.TransportConfig`), every frame passes
+through the reliable transport (:mod:`repro.net.transport`), which
+survives the injected loss/duplication/reordering and still hands the
+upper layers exactly-once, in-order-per-channel delivery.  Without it
+(the default), sends schedule ``_deliver`` directly and nothing changes.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
-from repro.errors import SimulationError
+from repro.errors import ReceiveTimeout, SimulationError
 from repro.machine.config import MachineConfig
 from repro.net.message import Message
 from repro.net.stats import NetStats
@@ -91,8 +99,7 @@ class Endpoint:
         tel = self.net.telemetry
         if tel is not None:
             tel.message(self.pid, dst, kind, size + cfg.header_bytes)
-        deliver_at = depart + cfg.wire_time(size)
-        engine.call_at(deliver_at, lambda: self.net._deliver(msg))
+        self.net._transmit(msg, depart)
         return msg
 
     def broadcast(self, kind: str, payload: Any = None, size: int = 0,
@@ -105,12 +112,17 @@ class Endpoint:
     # ------------------------------------------------------------------
 
     def recv(self, kind: Optional[str] = None, src: Optional[int] = None,
-             tag: Any = None, match: Optional[Match] = None) -> Message:
+             tag: Any = None, match: Optional[Match] = None,
+             timeout: Optional[float] = None) -> Message:
         """Blocking receive of the first matching mailbox message.
 
         Charges the receive overhead once the message is taken.  Matching
         is by ``kind``/``src``/``tag`` (each optional) or a custom
-        predicate.
+        predicate.  With ``timeout`` (simulated microseconds) the wait is
+        bounded: if no matching message has arrived by ``now + timeout``
+        a :class:`~repro.errors.ReceiveTimeout` is raised, letting the
+        caller degrade gracefully instead of deadlocking the simulation.
+        A message arriving exactly at the deadline wins over the timeout.
         """
 
         def matches(msg: Message) -> bool:
@@ -124,13 +136,30 @@ class Endpoint:
                 return False
             return True
 
+        engine = self.net.engine
+        deadline = None
+        if timeout is not None:
+            if timeout < 0:
+                raise SimulationError(f"negative recv timeout: {timeout}")
+            deadline = engine.now + timeout
+            engine.call_at(deadline, self.proc.wake)
+        what = (f"recv(kind={kind!r}, src={src}, tag={tag!r})"
+                if match is None else "recv(<custom match>)")
         while True:
             for i, msg in enumerate(self.mailbox):
                 if matches(msg):
                     del self.mailbox[i]
+                    self.proc.waiting_on = None
                     self.proc.advance(self.net.config.recv_overhead)
                     return msg
+            if deadline is not None and engine.now >= deadline:
+                self.proc.waiting_on = None
+                raise ReceiveTimeout(
+                    f"P{self.pid} {what} timed out after {timeout:g}us "
+                    f"at t={engine.now:.1f}")
+            self.proc.waiting_on = what
             self.proc.wait()
+            self.proc.waiting_on = None
 
     def try_recv(self, kind: Optional[str] = None,
                  src: Optional[int] = None) -> Optional[Message]:
@@ -148,7 +177,9 @@ class Network:
     """The interconnect tying all endpoints together."""
 
     def __init__(self, engine: Engine, config: MachineConfig,
-                 nprocs: int, telemetry=None) -> None:
+                 nprocs: int, telemetry=None, faults=None,
+                 transport: Union[None, bool, "TransportConfig"] = None) \
+            -> None:
         self.engine = engine
         self.config = config
         self.nprocs = nprocs
@@ -157,6 +188,28 @@ class Network:
         #: ``NetStats`` accounting as live metrics + timeline events.
         self.telemetry = telemetry
         self._endpoints: Dict[int, Endpoint] = {}
+        #: Optional :class:`repro.faults.FaultInjector` realizing a
+        #: :class:`~repro.faults.FaultPlan` on this fabric.
+        self.injector = None
+        #: Optional :class:`~repro.net.transport.ReliableTransport`.
+        #: ``None`` (the default) keeps the legacy direct-delivery path
+        #: with zero overhead; a fault plan auto-enables it, since the
+        #: DSM protocol cannot survive loss without it.
+        self.transport = None
+        if faults is not None:
+            from repro.faults import FaultInjector
+            self.injector = FaultInjector(faults, nprocs,
+                                          stats=self.stats,
+                                          telemetry=telemetry)
+        if transport is True or (transport is None
+                                 and faults is not None):
+            from repro.net.transport import TransportConfig
+            transport = TransportConfig()
+        if transport:
+            from repro.net.transport import ReliableTransport
+            self.transport = ReliableTransport(self, transport,
+                                               injector=self.injector)
+        engine.add_debug_source(self._debug_lines)
 
     def attach(self, proc: Process) -> Endpoint:
         if proc.pid in self._endpoints:
@@ -169,6 +222,21 @@ class Network:
         return self._endpoints[pid]
 
     # ------------------------------------------------------------------
+
+    def _transmit(self, msg: Message, depart: float) -> None:
+        """Put one message on the wire at time ``depart``.
+
+        With the reliable transport enabled the frame gets a sequence
+        number, fault treatment, and retransmission cover; otherwise it
+        is delivered directly after the nominal wire time (the legacy
+        perfect-fabric path, byte-identical to the pre-transport code).
+        """
+        tp = self.transport
+        if tp is not None:
+            tp.send(msg, depart)
+            return
+        deliver_at = depart + self.config.wire_time(msg.size)
+        self.engine.call_at(deliver_at, lambda: self._deliver(msg))
 
     def _deliver(self, msg: Message) -> None:
         ep = self._endpoints.get(msg.dst)
@@ -183,3 +251,23 @@ class Network:
         else:
             ep.mailbox.append(msg)
             ep.proc.wake()
+
+    # ------------------------------------------------------------------
+    # Deadlock diagnostics (engine debug source).
+    # ------------------------------------------------------------------
+
+    def _debug_lines(self) -> List[str]:
+        """Undelivered traffic, for the engine's deadlock dump."""
+        out: List[str] = []
+        for pid in sorted(self._endpoints):
+            box = self._endpoints[pid].mailbox
+            if not box:
+                continue
+            shown = ", ".join(
+                f"{m.kind}<-P{m.src} tag={m.tag!r}" for m in box[:8])
+            more = f", +{len(box) - 8} more" if len(box) > 8 else ""
+            out.append(f"P{pid} mailbox ({len(box)} undelivered): "
+                       f"{shown}{more}")
+        if self.transport is not None:
+            out.extend(self.transport.debug_lines())
+        return out

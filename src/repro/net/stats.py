@@ -1,4 +1,13 @@
-"""Message statistics: counts and bytes, total and per kind."""
+"""Message statistics: counts and bytes, total and per kind.
+
+``messages`` / ``bytes`` / ``by_kind`` count every frame that a
+processor *sends* — including retransmissions and acks when the
+reliable transport is enabled — so they measure actual wire traffic.
+The transport/fault counters below them quantify the robustness cost:
+how much of that traffic existed only because the fabric misbehaved.
+All of them stay exactly zero on a fault-free run with the transport
+disabled, which keeps the protocol baselines byte-identical.
+"""
 
 from __future__ import annotations
 
@@ -18,6 +27,23 @@ class NetStats:
     bytes_by_kind: Counter = field(default_factory=Counter)
     per_proc_sent: Counter = field(default_factory=Counter)
 
+    # --- reliable transport --------------------------------------------
+    #: Data frames resent after a retransmission timeout.
+    retransmits: int = 0
+    #: Ack frames sent (also counted in ``messages``).
+    acks: int = 0
+    #: Frames the receiver discarded as duplicates (fabric copies or
+    #: spurious retransmissions caught by sequence-number dedup).
+    dup_frames_discarded: int = 0
+
+    # --- injected faults -----------------------------------------------
+    faults_dropped: int = 0
+    faults_duplicated: int = 0
+    faults_reordered: int = 0
+    faults_delayed: int = 0
+    faults_partitioned: int = 0
+    faults_outage: int = 0
+
     def record(self, kind: str, src: int, size: int) -> None:
         self.messages += 1
         total = size + self.header_bytes
@@ -26,9 +52,34 @@ class NetStats:
         self.bytes_by_kind[kind] += total
         self.per_proc_sent[src] += 1
 
-    def summary(self) -> Dict[str, object]:
+    @property
+    def faults_injected(self) -> int:
+        """Total fabric misbehaviors the injector applied."""
+        return (self.faults_dropped + self.faults_duplicated
+                + self.faults_reordered + self.faults_delayed
+                + self.faults_partitioned + self.faults_outage)
+
+    def transport_summary(self) -> Dict[str, int]:
+        """The robustness-cost counters as a flat dict."""
         return {
+            "retransmits": self.retransmits,
+            "acks": self.acks,
+            "dup_frames_discarded": self.dup_frames_discarded,
+            "faults_dropped": self.faults_dropped,
+            "faults_duplicated": self.faults_duplicated,
+            "faults_reordered": self.faults_reordered,
+            "faults_delayed": self.faults_delayed,
+            "faults_partitioned": self.faults_partitioned,
+            "faults_outage": self.faults_outage,
+        }
+
+    def summary(self) -> Dict[str, object]:
+        out = {
             "messages": self.messages,
             "bytes": self.bytes,
             "by_kind": dict(self.by_kind),
         }
+        transport = self.transport_summary()
+        if any(transport.values()):
+            out["transport"] = transport
+        return out

@@ -61,6 +61,10 @@ class Process:
         self.busy_until = 0.0
         #: Target wake-up time while in state ADVANCING (lazily rescheduled).
         self.wake_time = 0.0
+        #: Human-readable description of what this process is blocked on
+        #: (set by recv/barrier/lock waits); surfaced by the engine's
+        #: deadlock diagnostic.  Purely informational.
+        self.waiting_on: Optional[str] = None
         self._wake_pending = False
         self._main = main
         # Raw-lock ping-pong handoff (much cheaper than semaphores; these
@@ -210,6 +214,9 @@ class Engine:
         #: ``Telemetry.bind_engine``.  Lifecycle events only — per-event
         #: hooks would be far too hot for the scheduling core.
         self.telemetry = None
+        #: Callables returning extra diagnostic lines for the deadlock
+        #: dump (e.g. the network registers its mailbox/transport state).
+        self._debug_sources: List[Callable[[], List[str]]] = []
 
     # ------------------------------------------------------------------
 
@@ -246,6 +253,10 @@ class Engine:
         """Schedule ``action`` to run ``delay`` microseconds from now."""
         self._schedule(self.now + delay, action)
 
+    def add_debug_source(self, fn: Callable[[], List[str]]) -> None:
+        """Register a provider of extra deadlock-diagnostic lines."""
+        self._debug_sources.append(fn)
+
     # ------------------------------------------------------------------
 
     def run(self) -> None:
@@ -276,8 +287,30 @@ class Engine:
                           state=proc.state.value)
         blocked = [p for p in self._processes if p.alive]
         if blocked:
-            states = ", ".join(
-                f"{p.name}={p.state.value}" for p in blocked)
-            raise SimulationDeadlock(
-                f"no events left at t={self.now:.1f} but processes are "
-                f"blocked: {states}")
+            raise SimulationDeadlock(self._deadlock_report(blocked))
+
+    def _deadlock_report(self, blocked: List[Process]) -> str:
+        """A lost message must be debuggable: name every blocked
+        process, what it says it is waiting on, and (via the registered
+        debug sources) any undelivered traffic still sitting in the
+        system."""
+        lines = [f"no events left at t={self.now:.1f} but "
+                 f"{len(blocked)} of {len(self._processes)} processes "
+                 "are blocked:"]
+        for p in blocked:
+            what = f" waiting on {p.waiting_on}" if p.waiting_on else ""
+            lines.append(f"  {p.name} [{p.state.value}]{what}")
+        extra: List[str] = []
+        for fn in self._debug_sources:
+            try:
+                extra.extend(fn())
+            except Exception as exc:  # pragma: no cover - diag only
+                extra.append(f"(debug source failed: {exc!r})")
+        if extra:
+            lines.append("undelivered traffic:")
+            lines.extend(f"  {l}" for l in extra)
+        else:
+            lines.append("no undelivered traffic recorded: the blocked "
+                         "processes are waiting for messages that were "
+                         "never sent")
+        return "\n".join(lines)

@@ -675,7 +675,14 @@ class TmNode:
                     if w != self.pid and i > marks[w]:
                         expected.add((w, i, p))
             while not all(k in self.diff_store for k in expected):
+                missing = [k for k in expected
+                           if k not in self.diff_store]
+                self.proc.waiting_on = (
+                    f"{len(missing)} donated diffs (first: writer=P"
+                    f"{missing[0][0]} interval={missing[0][1]} "
+                    f"page={missing[0][2]})")
                 self.proc.wait()
+            self.proc.waiting_on = None
         for e in entries:
             if e.fallback:
                 # Adaptive fallback: a full post-sync Validate.
@@ -931,7 +938,13 @@ class TmNode:
             self._barrier_box[self.pid] = (self._vc_tuple(), (), sreq)
             t0 = self.sys.engine.now
             while len(self._barrier_box) < self.nprocs:
+                absent = sorted(set(range(self.nprocs))
+                                - set(self._barrier_box))
+                self.proc.waiting_on = (
+                    f"barrier arrivals from "
+                    f"{['P%d' % p for p in absent]}")
                 self.proc.wait()
+            self.proc.waiting_on = None
             self.stats.t_barrier_wait += self.sys.engine.now - t0
             if self.tel is not None:
                 self.tel.span(self.pid, "wait.barrier", t0,

@@ -56,7 +56,7 @@ class TmSystem:
                  config: Optional[MachineConfig] = None,
                  gc_threshold: Optional[int] = None,
                  eager_diffing: bool = False,
-                 telemetry=None) -> None:
+                 telemetry=None, faults=None, transport=None) -> None:
         self.nprocs = nprocs
         self.layout = layout
         #: Interval-record count at which the barrier master triggers a
@@ -72,8 +72,12 @@ class TmSystem:
         self.telemetry = telemetry
         if telemetry is not None:
             telemetry.bind_engine(self.engine, nprocs)
+        #: Optional :class:`repro.faults.FaultPlan` /
+        #: :class:`repro.net.TransportConfig`; a fault plan auto-enables
+        #: the reliable transport underneath the DSM protocol.
         self.net = Network(self.engine, self.config, nprocs,
-                           telemetry=telemetry)
+                           telemetry=telemetry, faults=faults,
+                           transport=transport)
         self.nodes: List[TmNode] = []
 
     def run(self, main: Callable[[TmNode], object]) -> RunResult:

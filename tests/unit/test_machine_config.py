@@ -1,0 +1,50 @@
+"""MachineConfig field validation: bad cost models fail at construction."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.machine import MachineConfig
+
+
+def test_defaults_are_valid():
+    MachineConfig()
+
+
+@pytest.mark.parametrize("kw", [
+    {"nprocs": 0}, {"nprocs": -4}, {"page_size": 0}, {"bandwidth": 0.0},
+    {"bandwidth": -35.0},
+])
+def test_positive_fields_reject_zero_and_negative(kw):
+    with pytest.raises(ReproError):
+        MachineConfig(**kw)
+
+
+@pytest.mark.parametrize("kw", [
+    {"send_overhead": -1.0}, {"wire_latency": -0.1},
+    {"interrupt_cost": -60.0}, {"prot_slope": -0.5},
+    {"diff_create_per_byte": -0.008}, {"header_bytes": -32},
+])
+def test_cost_fields_reject_negative(kw):
+    with pytest.raises(ReproError) as ei:
+        MachineConfig(**kw)
+    assert "simulated time run backwards" in str(ei.value)
+
+
+@pytest.mark.parametrize("kw", [
+    {"send_overhead": "60"}, {"nprocs": None}, {"bandwidth": True},
+])
+def test_non_numeric_fields_rejected(kw):
+    with pytest.raises(ReproError) as ei:
+        MachineConfig(**kw)
+    assert "must be a number" in str(ei.value)
+
+
+def test_zero_costs_are_allowed():
+    # A free network is degenerate but legal (useful in unit tests).
+    cfg = MachineConfig(send_overhead=0.0, wire_latency=0.0)
+    assert cfg.wire_time(0) == pytest.approx(32 / 35.0)
+
+
+def test_with_nprocs_revalidates():
+    with pytest.raises(ReproError):
+        MachineConfig().with_nprocs(0)

@@ -9,6 +9,9 @@ Usage::
     python -m repro inspect jacobi --mode dsm --opt aggr
     python -m repro check [--update-baselines]
     python -m repro chaos --apps jacobi is --intensity heavy
+    python -m repro sanitize jacobi --opt push
+    python -m repro sanitize --all
+    python -m repro bench --json BENCH_pr4.json
 """
 
 from __future__ import annotations
@@ -18,6 +21,45 @@ import sys
 
 from repro.harness import experiments as ex
 from repro.harness import report
+
+
+# ----------------------------------------------------------------------
+# Shared argument groups.  Every run-shaped subcommand takes the same
+# sizing knobs; defining them once keeps defaults and help text in one
+# place (argparse merges parents into each subcommand's parser).
+# ----------------------------------------------------------------------
+
+def _sizing_parent(dataset: str = "tiny", nprocs: int = 4,
+                   page_size: int = 1024) -> argparse.ArgumentParser:
+    """``--dataset/--nprocs/--page-size``, shared by every run command."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--dataset", default=dataset,
+                   help="data set name (tiny, bench, ...)")
+    p.add_argument("--nprocs", type=int, default=nprocs,
+                   help="number of simulated processors")
+    p.add_argument("--page-size", type=int, default=page_size,
+                   help="DSM page size in bytes")
+    return p
+
+
+def _mode_parent(opt: str = "aggr") -> argparse.ArgumentParser:
+    """``--mode/--opt``, for commands that run one app in one mode."""
+    from repro.harness import MODES
+
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--mode", default="dsm", choices=sorted(MODES))
+    p.add_argument("--opt", default=opt,
+                   help="DSM optimization level (base, aggr, "
+                        "aggr+cons, merge, push)")
+    return p
+
+
+def _seed_parent(seed: int = 0) -> argparse.ArgumentParser:
+    """``--seed``, for commands with a deterministic RNG input."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--seed", type=int, default=seed,
+                   help="RNG seed (same seed = same schedule)")
+    return p
 
 ARTIFACTS = {
     "table1": (lambda args: ex.table1(dataset=args.dataset),
@@ -52,22 +94,16 @@ ARTIFACTS = {
 def trace_main(argv) -> int:
     """``python -m repro trace <app>``: run once with full telemetry."""
     from repro.apps import all_apps
-    from repro.harness import MODES, RunSpec, run
+    from repro.harness import RunSpec, run
 
     parser = argparse.ArgumentParser(
         prog="python -m repro trace",
+        parents=[_sizing_parent(), _mode_parent()],
         description="Run one application with telemetry enabled and "
                     "export a Chrome-trace timeline "
                     "(chrome://tracing or https://ui.perfetto.dev).")
     parser.add_argument("app", choices=sorted(all_apps()),
                         help="application to trace")
-    parser.add_argument("--mode", default="dsm", choices=sorted(MODES))
-    parser.add_argument("--dataset", default="tiny")
-    parser.add_argument("--nprocs", type=int, default=4)
-    parser.add_argument("--page-size", type=int, default=1024)
-    parser.add_argument("--opt", default="aggr",
-                        help="DSM optimization level (base, aggr, "
-                             "aggr+cons, merge, push)")
     parser.add_argument("--out", default=None,
                         help="Chrome-trace output path "
                              "(default: trace-<app>.json)")
@@ -104,23 +140,17 @@ def inspect_main(argv) -> int:
     import json
 
     from repro.apps import all_apps
-    from repro.harness import MODES, RunSpec
+    from repro.harness import RunSpec
     from repro.inspect import inspect_run
 
     parser = argparse.ArgumentParser(
         prog="python -m repro inspect",
+        parents=[_sizing_parent(), _mode_parent()],
         description="Run one application with telemetry and print the "
                     "protocol inspection report: hot pages, "
                     "lock/barrier contention, critical path.")
     parser.add_argument("app", choices=sorted(all_apps()),
                         help="application to inspect")
-    parser.add_argument("--mode", default="dsm", choices=sorted(MODES))
-    parser.add_argument("--dataset", default="tiny")
-    parser.add_argument("--nprocs", type=int, default=4)
-    parser.add_argument("--page-size", type=int, default=1024)
-    parser.add_argument("--opt", default="aggr",
-                        help="DSM optimization level (base, aggr, "
-                             "aggr+cons, merge, push)")
     parser.add_argument("--top", type=int, default=10,
                         help="rows per ranking table")
     parser.add_argument("--json", default=None, metavar="PATH",
@@ -204,6 +234,7 @@ def chaos_main(argv) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro chaos",
+        parents=[_sizing_parent(), _seed_parent()],
         description="Sweep apps x opt levels x fault intensities under "
                     "deterministic fault injection with the reliable "
                     "transport enabled.  Every faulted run must produce "
@@ -220,12 +251,6 @@ def chaos_main(argv) -> int:
                         choices=sorted(chaos.INTENSITIES),
                         dest="intensities",
                         help="fault intensities (default: all three)")
-    parser.add_argument("--seed", type=int, default=0,
-                        help="fault-plan RNG seed (same seed = same "
-                             "fault schedule)")
-    parser.add_argument("--dataset", default="tiny")
-    parser.add_argument("--nprocs", type=int, default=4)
-    parser.add_argument("--page-size", type=int, default=1024)
     parser.add_argument("--no-inspect", action="store_true",
                         help="skip the protocol-inspector invariant "
                              "checks on each faulted run")
@@ -254,8 +279,126 @@ def chaos_main(argv) -> int:
     return 0 if all(c.ok for c in cases) else 1
 
 
+def sanitize_main(argv) -> int:
+    """``python -m repro sanitize``: race + hint-soundness checking."""
+    import json
+
+    from repro.apps import all_apps
+    from repro.sanitizer import matrix
+    from repro.sanitizer.replay import sanitize_jsonl, sanitize_run
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sanitize",
+        parents=[_sizing_parent()],
+        description="Run applications under the DSM sanitizer: "
+                    "vector-clock race detection plus compiler-hint "
+                    "soundness checking over the telemetry event "
+                    "stream.  Exits non-zero on any finding.")
+    parser.add_argument("app", nargs="?", choices=sorted(all_apps()),
+                        help="application to sanitize (omit with "
+                             "--all / --corpus to cover every app)")
+    parser.add_argument("--opt", default="aggr+cons",
+                        help="DSM optimization level (base, aggr, "
+                             "aggr+cons, merge, push)")
+    parser.add_argument("--all", action="store_true",
+                        help="sanitize every app at every applicable "
+                             "opt level (the clean matrix)")
+    parser.add_argument("--corpus", action="store_true",
+                        help="run the mutated-hint detection corpus; "
+                             "exits non-zero unless every mutation "
+                             "is detected")
+    parser.add_argument("--offline", action="store_true",
+                        help="replay the recorded stream after the run "
+                             "instead of checking online")
+    parser.add_argument("--replay", default=None, metavar="JSONL",
+                        help="sanitize a recorded telemetry JSONL "
+                             "trace of <app> at --opt instead of "
+                             "running")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="export the report as JSON "
+                             "('-' for stdout)")
+    args = parser.parse_args(argv)
+
+    def emit(payload, text) -> None:
+        if args.json == "-":
+            print(json.dumps(payload, indent=2))
+            return
+        print(text)
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(payload, fh, indent=2)
+                fh.write("\n")
+            print(f"wrote {args.json}")
+
+    apps = [args.app] if args.app else None
+    if args.corpus:
+        corpus = matrix.build_corpus(apps=apps, dataset=args.dataset,
+                                     nprocs=args.nprocs,
+                                     page_size=args.page_size)
+        matrix.run_corpus(corpus, dataset=args.dataset,
+                          nprocs=args.nprocs,
+                          page_size=args.page_size)
+        emit([e.__dict__ for e in corpus], matrix.render_corpus(corpus))
+        return 0 if all(e.detected for e in corpus) else 1
+    if args.all or not args.app:
+        cases = matrix.clean_matrix(apps=apps, dataset=args.dataset,
+                                    nprocs=args.nprocs,
+                                    page_size=args.page_size)
+        emit([c.report.as_dict() for c in cases],
+             matrix.render_matrix(cases))
+        return 0 if all(c.ok for c in cases) else 1
+    if args.replay:
+        rep = sanitize_jsonl(args.replay, args.app, opt=args.opt,
+                             dataset=args.dataset, nprocs=args.nprocs,
+                             page_size=args.page_size)
+    else:
+        _, rep = sanitize_run(args.app, opt=args.opt,
+                              dataset=args.dataset, nprocs=args.nprocs,
+                              page_size=args.page_size,
+                              online=not args.offline)
+    emit(rep.as_dict(), rep.render())
+    return 0 if rep.ok else 1
+
+
+def bench_main(argv) -> int:
+    """``python -m repro bench``: machine-readable benchmark summary."""
+    import json
+
+    from repro.apps import all_apps
+    from repro.harness import bench
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        parents=[_sizing_parent()],
+        description="Run the full mode matrix (seq, every applicable "
+                    "DSM opt level, message passing, XHPF) and report "
+                    "simulated time, speedup and message counts per "
+                    "app x mode, machine-readable.")
+    parser.add_argument("--apps", nargs="*", default=None,
+                        choices=sorted(all_apps()),
+                        help="applications to bench (default: all, in "
+                             "the paper's order)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the JSON payload here "
+                             "('-' for stdout)")
+    args = parser.parse_args(argv)
+
+    payload = bench.bench(apps=args.apps, dataset=args.dataset,
+                          nprocs=args.nprocs,
+                          page_size=args.page_size)
+    if args.json == "-":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(bench.render_bench(payload))
+    if args.json:
+        bench.write_bench(payload, args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
 SUBCOMMANDS = {"trace": trace_main, "inspect": inspect_main,
-               "check": check_main, "chaos": chaos_main}
+               "check": check_main, "chaos": chaos_main,
+               "sanitize": sanitize_main, "bench": bench_main}
 
 
 def main(argv=None) -> int:
@@ -268,7 +411,9 @@ def main(argv=None) -> int:
                     "Subcommands: trace (Chrome-trace capture), inspect "
                     "(protocol inspection report), check (baseline "
                     "regression gate), chaos (fault-injection "
-                    "robustness sweep); see 'python -m repro <sub> -h'.")
+                    "robustness sweep), sanitize (race + hint-soundness "
+                    "checking), bench (machine-readable benchmark "
+                    "summary); see 'python -m repro <sub> -h'.")
     parser.add_argument("artifacts", nargs="+",
                         choices=sorted(ARTIFACTS) + ["all"],
                         help="which tables/figures to regenerate")

@@ -276,4 +276,91 @@ def transform(program: Program, opt: OptConfig,
     """Insert augmented-run-time calls per ``opt``; returns a new Program."""
     if opt is None:
         raise CompileError("transform() requires an OptConfig")
-    return _Transformer(program, opt, analysis).run()
+    out = _Transformer(program, opt, analysis).run()
+    if _HINT_MUTATOR is not None:
+        out = map_hints(out, _HINT_MUTATOR)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Hint-site enumeration and the sanitizer's fault-injection hook.
+#
+# ``map_hints`` walks a transformed program in deterministic pre-order,
+# numbering every ValidateStmt / PushStmt it meets, and lets a callback
+# replace (or drop, by returning None) each one.  The module-level
+# mutator — installed via the ``hint_mutation`` context manager — is
+# applied by ``transform()`` itself, so a harness run that compiles the
+# program internally (RunSpec and friends) picks the mutation up
+# without new plumbing.  Both sides of the sanitizer's soundness proof
+# use the same walk, so site numbers agree between corpus enumeration
+# and injection.
+# ----------------------------------------------------------------------
+
+_HINT_MUTATOR = None
+
+
+def map_hints(program: Program, fn) -> Program:
+    """Rebuild ``program`` with ``fn(site_index, stmt)`` applied to every
+    hint statement (``ValidateStmt`` / ``PushStmt``); ``fn`` returning
+    ``None`` drops the statement, returning the statement unchanged
+    keeps it."""
+    counter = [0]
+
+    def walk(stmts):
+        out = []
+        for s in stmts:
+            if isinstance(s, (ValidateStmt, PushStmt)):
+                site = counter[0]
+                counter[0] += 1
+                s = fn(site, s)
+                if s is not None:
+                    out.append(s)
+            elif isinstance(s, Loop):
+                out.append(dc_replace(s, body=walk(s.body)))
+            elif isinstance(s, If):
+                out.append(dc_replace(s, then=walk(s.then),
+                                      orelse=walk(s.orelse)))
+            elif isinstance(s, ProcCall):
+                out.append(dc_replace(s, body=walk(s.body)))
+            else:
+                out.append(s)
+        return out
+
+    return dc_replace(program, body=walk(program.body))
+
+
+def hint_sites(program: Program) -> List[Stmt]:
+    """The hint statements of ``program`` in ``map_hints`` site order."""
+    sites: List[Stmt] = []
+
+    def collect(site, stmt):
+        assert site == len(sites)
+        sites.append(stmt)
+        return stmt
+
+    map_hints(program, collect)
+    return sites
+
+
+def set_hint_mutator(fn) -> None:
+    """Install (or clear, with ``None``) the post-transform hint hook."""
+    global _HINT_MUTATOR
+    _HINT_MUTATOR = fn
+
+
+class hint_mutation:
+    """Context manager installing a hint mutator for the duration::
+
+        with hint_mutation(lambda site, stmt: ...):
+            run(RunSpec(...))
+    """
+
+    def __init__(self, fn) -> None:
+        self.fn = fn
+
+    def __enter__(self):
+        set_hint_mutator(self.fn)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        set_hint_mutator(None)

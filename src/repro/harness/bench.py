@@ -1,0 +1,84 @@
+"""Machine-readable benchmark summaries (``python -m repro bench``).
+
+The paper's tables render for humans; CI and regression tooling want
+one JSON blob with the same numbers.  :func:`bench` runs the full mode
+matrix per app — sequential, every applicable DSM opt level, message
+passing, and XHPF where it accepts the program — and reports simulated
+time, speedup over sequential, message count and data volume for each.
+Runs go through :func:`repro.harness.experiments.app_runs`, so a bench
+sweep shares its cache with any artifact tables generated in the same
+process.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps import all_apps
+from repro.harness.experiments import APP_ORDER, app_runs
+
+SCHEMA = "repro-bench/1"
+
+
+def _entry(mode: str, outcome, seq_time: float) -> Dict:
+    return {
+        "mode": mode,
+        "time_us": round(float(outcome.time), 3),
+        "speedup": round(seq_time / outcome.time, 4),
+        "messages": int(outcome.messages),
+        "data_bytes": int(outcome.data_bytes),
+    }
+
+
+def bench(apps: Optional[Sequence[str]] = None, dataset: str = "tiny",
+          nprocs: int = 4, page_size: int = 1024) -> Dict:
+    """The bench payload: per-app, per-mode time/speedup/messages."""
+    specs = all_apps()
+    names = list(apps) if apps is not None else \
+        [n for n in APP_ORDER if n in specs]
+    payload: Dict = {
+        "schema": SCHEMA,
+        "dataset": dataset,
+        "nprocs": nprocs,
+        "page_size": page_size,
+        "apps": {},
+    }
+    for name in names:
+        runs = app_runs(specs[name], dataset=dataset, nprocs=nprocs,
+                        page_size=page_size)
+        modes: List[Dict] = []
+        for level in runs.dsm:
+            modes.append(_entry(f"dsm:{level}", runs.dsm[level],
+                                runs.seq_time))
+        modes.append(_entry("mp", runs.pvme, runs.seq_time))
+        if runs.xhpf is not None:
+            modes.append(_entry("xhpf", runs.xhpf, runs.seq_time))
+        payload["apps"][name] = {
+            "seq_time_us": round(float(runs.seq_time), 3),
+            "best_dsm_level": runs.best_level(),
+            "modes": modes,
+        }
+    return payload
+
+
+def write_bench(payload: Dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def render_bench(payload: Dict) -> str:
+    from repro.harness.report import render_table
+
+    rows = []
+    for name, app in payload["apps"].items():
+        for m in app["modes"]:
+            rows.append([name, m["mode"], m["time_us"], m["speedup"],
+                         m["messages"], m["data_bytes"]])
+    return render_table(
+        f"Benchmark summary (dataset={payload['dataset']}, "
+        f"nprocs={payload['nprocs']})",
+        ["app", "mode", "time_us", "speedup", "messages", "bytes"],
+        rows,
+        note="speedup is sequential time / mode time")

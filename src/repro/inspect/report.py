@@ -93,11 +93,46 @@ class InspectReport:
                 problems.append(f"messages: events={n_msg} "
                                 f"NetStats={net.messages}")
 
+        problems.extend(self._reconcile_accesses())
+
         cp_total = sum(self.critpath.totals().values())
         end = self.critpath.end_ts
         if abs(cp_total - end) > rtol * max(1.0, abs(end)):
             problems.append(f"critical path: segments sum to "
                             f"{cp_total:.3f}, end-to-end is {end:.3f}")
+        return problems
+
+    def _reconcile_accesses(self) -> List[str]:
+        """Cross-check fault events against ``rt.*`` access events.
+
+        When the run was traced with access events enabled (the
+        sanitizer's ``Telemetry(access_events=True)``), every page
+        fault must be explained by a program access the processor
+        already announced: the runtime emits ``rt.read``/``rt.write``
+        *before* touching the pages, so in bus order a fault on a page
+        the processor never declared is an instrumentation hole.
+        """
+        tel = self.outcome.telemetry
+        if tel is None or not tel.bus.enabled:
+            return []
+        problems: List[str] = []
+        reads: dict = {}
+        writes: dict = {}
+        seen_access = False
+        for ev in tel.bus.events:
+            if ev.kind == "rt.read" or ev.kind == "rt.write":
+                seen_access = True
+                pool = reads if ev.kind == "rt.read" else writes
+                pool.setdefault(ev.pid, set()).update(ev.args["pages"])
+            elif ev.kind in ("tm.read_fault", "tm.write_fault"):
+                if not seen_access:
+                    continue   # access events disabled for this run
+                pool = reads if ev.kind == "tm.read_fault" else writes
+                page = ev.args["page"]
+                if page not in pool.get(ev.pid, set()):
+                    problems.append(
+                        f"{ev.kind}: P{ev.pid} faulted on page {page} "
+                        f"with no preceding access event covering it")
         return problems
 
     def _fetch_wait(self) -> float:

@@ -38,3 +38,23 @@ class AccessType(enum.Enum):
     def overwrites(self) -> bool:
         """Entire section written: no twins or diffs needed."""
         return self in (AccessType.WRITE_ALL, AccessType.READ_WRITE_ALL)
+
+    # ------------------------------------------------------------------
+    # Hint-coverage semantics (repro.sanitizer).
+    #
+    # A Validate is a *claim* about the accesses that follow it; the
+    # sanitizer turns each claim into coverage it grants and obligations
+    # it imposes.  A fetching validate makes the section's pages
+    # consistent, so it licenses reads even when the declared intent is
+    # WRITE; a writing validate licenses writes.
+    # ------------------------------------------------------------------
+
+    @property
+    def covers_read(self) -> bool:
+        """Reads inside the section are sound after this validate."""
+        return self.fetches
+
+    @property
+    def covers_write(self) -> bool:
+        """Writes inside the section are sound after this validate."""
+        return self.writes

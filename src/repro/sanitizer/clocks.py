@@ -1,0 +1,161 @@
+"""Vector clocks over the telemetry stream: the LRC happens-before.
+
+The TreadMarks protocol orders accesses only through synchronization:
+lock release -> grant chains, barrier episodes, and push deliveries.
+:class:`SyncTracker` replays exactly those edges from ``tm.*`` events,
+maintaining one vector clock per simulated processor.  An access event
+is stamped with its processor's current clock; two conflicting accesses
+race iff neither clock dominates the other's component — which the
+shadow memory (:mod:`repro.sanitizer.shadow`) checks per byte.
+
+The tracker consumes events in **bus append order**, not timestamp
+order.  The event bus appends a receive strictly after the matching
+send (the simulated network has positive latency), so append order is a
+linearization of the happens-before relation: by the time a join event
+(grant, barrier completion, push receive) is processed, the clock it
+joins with has already been captured.
+
+Edges modeled (paper Sections 2 and 3):
+
+``tm.lock_release``   the releaser's clock is stored with the lock and
+                      its own component advances (new interval).
+``tm.lock_grant``     the grantee joins the lock's stored clock.  The
+                      grantee is blocked in ``recv`` between its own
+                      ``tm.lock_acquire`` and this grant, so joining at
+                      the grant event cannot miss any of its accesses.
+``tm.lock_acquire``   joins the lock's current clock too — this is what
+                      orders a *local re-acquire*, which grants without
+                      any message (and without a grant event).
+``tm.barrier``        arrival clocks are collected per barrier episode;
+                      when the last processor arrives every clock
+                      becomes the join of all arrivals (TreadMarks
+                      barriers broadcast all intervals).  Processors are
+                      blocked between arrival and departure, so the
+                      assignment-at-last-arrival cannot reorder with
+                      any application access.
+``tm.push``           the sender's clock is stored under (sender,
+                      round); its own component advances.  The snapshot
+                      is taken *before* the sender's post-push work, so
+                      receivers are not spuriously ordered after it.
+``tm.push_recv``      the receiver joins the stored (src, round) clock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+def join(a: List[int], b: List[int]) -> None:
+    """``a`` |= ``b`` (elementwise max, in place)."""
+    for i, v in enumerate(b):
+        if v > a[i]:
+            a[i] = v
+
+
+class SyncTracker:
+    """Per-processor vector clocks advanced by sync events."""
+
+    #: Event kinds this tracker consumes.
+    KINDS = ("tm.lock_acquire", "tm.lock_grant", "tm.lock_release",
+             "tm.barrier", "tm.push", "tm.push_recv")
+
+    def __init__(self, nprocs: int) -> None:
+        self.nprocs = nprocs
+        # C_p[p] starts at 1 so a stored write clock is never 0 (the
+        # shadow memory uses 0 as its "no access" sentinel).
+        self.clocks: List[List[int]] = [
+            [1 if q == p else 0 for q in range(nprocs)]
+            for p in range(nprocs)]
+        self._lock_vc: Dict[int, List[int]] = {}
+        self._push_vc: Dict[Tuple[int, int], List[int]] = {}
+        self._arrivals: Dict[int, Dict[int, List[int]]] = {}
+        self._barrier_count: List[int] = [0] * nprocs
+        # Human-readable sync context, for race reports.
+        self._last_sync: List[str] = ["start"] * nprocs
+        self._held: List[List[int]] = [[] for _ in range(nprocs)]
+        # Stream anomalies (e.g. a push_recv with no matching push):
+        # never expected from a complete trace, surfaced by reconcile().
+        self.unmatched: List[str] = []
+        self.barriers_completed = 0
+        self.lock_grants = 0
+        self.pushes = 0
+
+    # ------------------------------------------------------------------
+
+    def clock(self, pid: int) -> List[int]:
+        return self.clocks[pid]
+
+    def context(self, pid: int) -> str:
+        """Where ``pid`` last synchronized (race-report annotation)."""
+        held = self._held[pid]
+        locks = f" holding L{held}" if held else ""
+        return f"last sync: {self._last_sync[pid]}{locks}"
+
+    # ------------------------------------------------------------------
+
+    def handle(self, ev) -> None:
+        kind = ev.kind
+        args = ev.args or {}
+        pid = ev.pid
+        if kind == "tm.lock_acquire":
+            lid = args["lid"]
+            held = self._lock_vc.get(lid)
+            if held is not None:
+                join(self.clocks[pid], held)
+            if lid not in self._held[pid]:
+                self._held[pid].append(lid)
+            self._last_sync[pid] = f"acquire(L{lid})"
+        elif kind == "tm.lock_grant":
+            lid, to = args["lid"], args["to"]
+            held = self._lock_vc.get(lid)
+            if held is not None:
+                join(self.clocks[to], held)
+            # else: first hand-off of a never-released token — the lock
+            # carries no history yet, so there is no edge to add.
+            self.lock_grants += 1
+        elif kind == "tm.lock_release":
+            lid = args["lid"]
+            vc = self._lock_vc.setdefault(lid, [0] * self.nprocs)
+            join(vc, self.clocks[pid])
+            self.clocks[pid][pid] += 1
+            if lid in self._held[pid]:
+                self._held[pid].remove(lid)
+            self._last_sync[pid] = f"release(L{lid})"
+        elif kind == "tm.barrier":
+            self._barrier_count[pid] += 1
+            episode = self._barrier_count[pid]
+            arrivals = self._arrivals.setdefault(episode, {})
+            arrivals[pid] = list(self.clocks[pid])
+            self._last_sync[pid] = f"barrier #{episode}"
+            if len(arrivals) == self.nprocs:
+                joined = [0] * self.nprocs
+                for vc in arrivals.values():
+                    join(joined, vc)
+                for q in range(self.nprocs):
+                    c = list(joined)
+                    c[q] += 1
+                    self.clocks[q] = c
+                del self._arrivals[episode]
+                self.barriers_completed += 1
+        elif kind == "tm.push":
+            rnd = args.get("round")
+            if rnd is not None:
+                self._push_vc[(pid, rnd)] = list(self.clocks[pid])
+            self.clocks[pid][pid] += 1
+            self._last_sync[pid] = f"push #{rnd}"
+            self.pushes += 1
+        elif kind == "tm.push_recv":
+            src, rnd = args.get("src"), args.get("round")
+            held = self._push_vc.get((src, rnd))
+            if held is not None:
+                join(self.clocks[pid], held)
+            else:
+                self.unmatched.append(
+                    f"push_recv(src={src}, round={rnd}) with no "
+                    f"matching push")
+
+    # ------------------------------------------------------------------
+
+    def pending_barrier(self) -> Optional[int]:
+        """An unfinished barrier episode (stream truncated mid-barrier)."""
+        return next(iter(self._arrivals), None)

@@ -1,0 +1,234 @@
+"""Hint-soundness checking: do the compiler's claims cover reality?
+
+At the consistency-eliminating opt levels (READ_ALL/WRITE_ALL, merge,
+push) the run-time *removes* twins, diffs and page protection inside
+hinted sections — an access that escapes its hint no longer faults, it
+silently reads or loses data.  This checker replays the access stream
+against the hints actually issued and enforces three rules:
+
+R1 (region coverage)
+    Within one sync-delimited region, once a processor has issued any
+    validate granting read (resp. write) coverage for an array, every
+    later read (resp. write) of that array in the region must fall
+    inside the union of such coverage.  Arrays with no hint in the
+    region are exempt: the compiler declared them unanalyzable (e.g.
+    indirect accesses) and left full fault-based consistency armed for
+    them.  A Push's declared read sections seed the following region's
+    coverage the same way a fetching validate would.
+
+R2 (overwrite claim)
+    A WRITE_ALL/READ_WRITE_ALL validate suppresses twin creation for
+    fully-covered pages; the protocol then treats the whole page as
+    written ("overwrite" write notices dominate concurrent diffs).  So
+    an overwrite page retired by ``tm.interval`` must not be *partially*
+    written: some bytes fresh, some stale, all propagated as current.
+    Pages with zero program writes are exempt — an overwrite page is
+    valid (fetched) when marked, so propagating its unchanged content
+    is merely redundant, not wrong (fft3d's trailing READ_WRITE_ALL
+    validate before the exit barrier is exactly this shape).
+
+R3 (push write claim)
+    ``Push`` distributes the written sections declared by the compiler
+    instead of creating write notices for the receivers to pull.
+    Every byte actually written in the interval ending at the push must
+    be inside the declared write sections, else receivers that should
+    have seen it never will.
+
+Region boundaries are the processor's own sync events (lock acquire /
+release, barrier, push).  ``Validate_w_sync`` hints are buffered and
+take effect at the next sync event, mirroring the run-time's deferred
+fetch.  Coverage from an access type follows
+:attr:`repro.rt.access.AccessType.covers_read` / ``covers_write``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.memory.section import Section
+from repro.rt.access import AccessType
+from repro.sanitizer.report import Finding, describe_event, locate
+from repro.telemetry.events import unpack_sections
+
+#: Events that end a processor's current coverage region.
+SYNC_KINDS = ("tm.lock_acquire", "tm.lock_release", "tm.barrier",
+              "tm.push")
+
+
+class HintChecker:
+    """Replays validates/pushes/accesses into coverage obligations."""
+
+    def __init__(self, layout, nprocs: int, enabled: bool = True) -> None:
+        self.layout = layout
+        self.nprocs = nprocs
+        self.enabled = enabled
+        total = layout.total_bytes
+        self._cov_read = np.zeros((nprocs, total), dtype=bool)
+        self._cov_write = np.zeros((nprocs, total), dtype=bool)
+        #: Bytes written by each pid in its current interval (R2/R3).
+        self._wlog = np.zeros((nprocs, total), dtype=bool)
+        self._oblig_read: List[Set[str]] = [set() for _ in range(nprocs)]
+        self._oblig_write: List[Set[str]] = [set() for _ in range(nprocs)]
+        self._pending: List[List[Tuple[list, AccessType]]] = [
+            [] for _ in range(nprocs)]
+        self.findings: List[Finding] = []
+        self._seen: Dict[tuple, Finding] = {}
+
+    # ------------------------------------------------------------------
+    # Region lifecycle.
+    # ------------------------------------------------------------------
+
+    def on_sync(self, ev) -> None:
+        """A sync event on ``ev.pid``: close the region, apply pending."""
+        if not self.enabled:
+            return
+        pid = ev.pid
+        if ev.kind == "tm.push":
+            self._check_push_writes(ev)
+        self._cov_read[pid] = False
+        self._cov_write[pid] = False
+        self._oblig_read[pid].clear()
+        self._oblig_write[pid].clear()
+        pending, self._pending[pid] = self._pending[pid], []
+        for sections, access in pending:
+            self._apply(pid, sections, access)
+        if ev.kind == "tm.push":
+            # The push's declared read sections are exactly what the
+            # following region may read (exchange target or locally
+            # owned); they seed the post-push coverage.
+            reads = unpack_sections((ev.args or {}).get("reads", ()))
+            for sec in reads:
+                for start, stop in self._ranges(sec):
+                    self._cov_read[pid, start:stop] = True
+                self._oblig_read[pid].add(sec.array)
+
+    def on_validate(self, ev) -> None:
+        if not self.enabled:
+            return
+        args = ev.args or {}
+        sections = unpack_sections(args.get("sections", ()))
+        access = AccessType(args["access"])
+        if args.get("w_sync"):
+            # Takes effect with the fetch, at the next sync operation.
+            self._pending[ev.pid].append((sections, access))
+        else:
+            self._apply(ev.pid, sections, access)
+
+    def _apply(self, pid: int, sections, access: AccessType) -> None:
+        for sec in sections:
+            ranges = self._ranges(sec)
+            if access.covers_read:
+                for start, stop in ranges:
+                    self._cov_read[pid, start:stop] = True
+                self._oblig_read[pid].add(sec.array)
+            if access.covers_write:
+                for start, stop in ranges:
+                    self._cov_write[pid, start:stop] = True
+                self._oblig_write[pid].add(sec.array)
+
+    # ------------------------------------------------------------------
+    # Access checking (R1) and the write log.
+    # ------------------------------------------------------------------
+
+    def on_access(self, ev) -> None:
+        pid = ev.pid
+        sec = Section(ev.args["array"],
+                      tuple(tuple(d) for d in ev.args["dims"]))
+        ranges = self._ranges(sec)
+        write = ev.kind == "rt.write"
+        if write:
+            for start, stop in ranges:
+                self._wlog[pid, start:stop] = True
+        if not self.enabled:
+            return
+        if write:
+            obliged = sec.array in self._oblig_write[pid]
+            cov = self._cov_write
+        else:
+            obliged = sec.array in self._oblig_read[pid]
+            cov = self._cov_read
+        if not obliged:
+            return
+        for start, stop in ranges:
+            miss = ~cov[pid, start:stop]
+            if miss.any():
+                off = start + int(np.flatnonzero(miss)[0])
+                kind = "uncovered-write" if write else "uncovered-read"
+                self._add(
+                    key=(kind, pid, sec.array),
+                    finding=Finding(
+                        category="hint", kind=kind, pid=pid,
+                        array=sec.array,
+                        where=locate(self.layout, off),
+                        detail=(f"P{pid} {'write' if write else 'read'} "
+                                f"of {locate(self.layout, off)} escapes "
+                                f"the region's validated sections"),
+                        site=describe_event(ev)))
+                return
+
+    # ------------------------------------------------------------------
+    # Interval retirement (R2) and push claims (R3).
+    # ------------------------------------------------------------------
+
+    def on_interval(self, ev) -> None:
+        pid = ev.pid
+        if self.enabled:
+            ps = self.layout.page_size
+            for page in (ev.args or {}).get("overwrite", ()):
+                page_log = self._wlog[pid, page * ps:(page + 1) * ps]
+                miss = ~page_log
+                if miss.any() and page_log.any():
+                    off = page * ps + int(np.flatnonzero(miss)[0])
+                    self._add(
+                        key=("partial-overwrite", pid, page),
+                        finding=Finding(
+                            category="hint", kind="partial-overwrite",
+                            pid=pid, array=locate(self.layout, off),
+                            where=locate(self.layout, off),
+                            detail=(f"P{pid} interval {ev.args['index']}"
+                                    f" retired partially-written "
+                                    f"overwrite page {page}: "
+                                    f"{locate(self.layout, off)} and "
+                                    f"{int(miss.sum())} bytes total "
+                                    f"were never written, yet the "
+                                    f"WRITE_ALL hint propagates the "
+                                    f"whole page as fresh"),
+                            site=describe_event(ev)))
+        self._wlog[pid] = False
+
+    def _check_push_writes(self, ev) -> None:
+        pid = ev.pid
+        writes = unpack_sections((ev.args or {}).get("writes", ()))
+        claimed = np.zeros(self.layout.total_bytes, dtype=bool)
+        for sec in writes:
+            for start, stop in self._ranges(sec):
+                claimed[start:stop] = True
+        stray = self._wlog[pid] & ~claimed
+        if stray.any():
+            off = int(np.flatnonzero(stray)[0])
+            self._add(
+                key=("unpushed-write", pid, locate(self.layout, off)),
+                finding=Finding(
+                    category="hint", kind="unpushed-write", pid=pid,
+                    array=locate(self.layout, off).split("[")[0],
+                    where=locate(self.layout, off),
+                    detail=(f"P{pid} wrote {locate(self.layout, off)} "
+                            f"({int(stray.sum())} bytes) before a Push "
+                            f"whose write sections do not declare it; "
+                            f"receivers will never see the update"),
+                    site=describe_event(ev)))
+
+    # ------------------------------------------------------------------
+
+    def _ranges(self, sec: Section):
+        return self.layout.byte_ranges(sec)
+
+    def _add(self, key: tuple, finding: Finding) -> None:
+        prior = self._seen.get(key)
+        if prior is not None:
+            prior.count += 1
+            return
+        self._seen[key] = finding
+        self.findings.append(finding)

@@ -1,0 +1,101 @@
+"""Run-and-sanitize drivers plus JSONL trace replay.
+
+``sanitize_run`` is the front door: run one app on the DSM with access
+events enabled and sanitize the stream online (a live bus subscriber).
+``sanitize_events`` replays any recorded stream — e.g. one loaded from
+a ``telemetry.write_jsonl`` file via ``load_events`` — against a
+layout rebuilt from the same app/opt pair.
+
+A JSONL file orders records by ``(ts, pid)``, which is compatible with
+the tracker's causality assumption: every happens-before edge in the
+simulation crosses the network with positive latency, so a join event
+always carries a strictly larger timestamp than the clock snapshot it
+joins with; within one processor the sort is stable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional, Tuple
+
+from repro.telemetry import Telemetry
+from repro.telemetry.events import Event
+
+
+def _resolve(app, opt, dataset: str, nprocs: int, page_size: int):
+    """(app_spec, opt_cfg, transformed program, layout) for one run."""
+    from repro.apps import all_apps
+    from repro.compiler.transform import transform
+    from repro.harness.modes import OPT_LEVELS
+    from repro.harness.runner import layout_for
+
+    app_spec = all_apps()[app] if isinstance(app, str) else app
+    opt_cfg = OPT_LEVELS[opt] if isinstance(opt, str) else opt
+    program = app_spec.program(dataset, nprocs)
+    prog = transform(program, opt_cfg) if opt_cfg is not None else program
+    return app_spec, opt_cfg, prog, layout_for(prog, page_size=page_size)
+
+
+def sanitize_run(app, opt="aggr+cons", dataset: str = "tiny",
+                 nprocs: int = 4, page_size: int = 1024,
+                 online: bool = True, config=None) -> Tuple[object, object]:
+    """Run ``app`` on the DSM and sanitize it; returns (outcome, report).
+
+    ``online=True`` subscribes the sanitizer to the live bus (events
+    checked as they happen); ``False`` feeds the recorded stream after
+    the run.  Both see the identical append-ordered stream.
+    """
+    from repro.harness.spec import RunSpec, run
+    from repro.sanitizer import Sanitizer
+
+    _, opt_cfg, _, layout = _resolve(app, opt, dataset, nprocs, page_size)
+    tel = Telemetry(access_events=True)
+    san = Sanitizer(layout, nprocs, opt=opt_cfg)
+    if online:
+        san.attach(tel.bus)
+    name = app if isinstance(app, str) else app.name
+    out = run(RunSpec(app=name, mode="dsm", dataset=dataset,
+                      nprocs=nprocs, page_size=page_size,
+                      opt=opt_cfg, config=config, telemetry=tel))
+    if not online:
+        for ev in tel.bus.events:
+            san.feed(ev)
+    rep = san.finish()
+    rep.reconcile(out)
+    return out, rep
+
+
+def sanitize_events(events, layout, nprocs: int, opt=None,
+                    hint_checking: Optional[bool] = None):
+    """Sanitize a pre-recorded event stream against ``layout``."""
+    from repro.sanitizer import Sanitizer
+
+    san = Sanitizer(layout, nprocs, opt=opt, hint_checking=hint_checking)
+    for ev in events:
+        san.feed(ev)
+    return san.finish()
+
+
+def load_events(path) -> List[Event]:
+    """Load the ``"rec": "event"`` records of a telemetry JSONL file."""
+    events: List[Event] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec.get("rec") != "event":
+                continue
+            events.append(Event(ts=rec["ts"], pid=rec["pid"],
+                                kind=rec["kind"],
+                                epoch=rec.get("epoch", 0),
+                                args=rec.get("args")))
+    return events
+
+
+def sanitize_jsonl(path, app, opt="aggr+cons", dataset: str = "tiny",
+                   nprocs: int = 4, page_size: int = 1024):
+    """Replay a recorded JSONL trace of ``app`` at ``opt`` offline."""
+    _, opt_cfg, _, layout = _resolve(app, opt, dataset, nprocs, page_size)
+    return sanitize_events(load_events(path), layout, nprocs, opt=opt_cfg)

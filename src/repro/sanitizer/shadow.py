@@ -1,0 +1,105 @@
+"""Byte-granularity shadow state for race detection.
+
+For every byte of the shared address space the shadow keeps the last
+write (owning processor, that processor's clock component at the write,
+and the event index of the access) plus, per processor, the last read.
+An access conflicts with a recorded one iff they touch the same byte,
+at least one writes, they come from different processors, and the
+recorded access's clock component is **not** contained in the current
+access's vector clock — the classic vector-clock race condition,
+evaluated with numpy over contiguous byte ranges so section accesses
+cost O(bytes) of vector work rather than O(bytes) of Python.
+
+Storing a single last-writer per byte (instead of a full clock) is the
+FastTrack observation: writes to the same byte are themselves ordered
+in a race-free execution, so the first unordered pair is caught the
+moment it occurs.  Reads keep one slot per processor because reads are
+allowed to be concurrent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+#: A conflict sample: (prior_event_index, prior_pid, byte_offset, kind)
+#: where kind is "ww", "rw" (prior read, current write) or "wr".
+Conflict = Tuple[int, int, int, str]
+
+
+class ShadowMemory:
+    """Last-access metadata per byte of the shared block."""
+
+    def __init__(self, layout, nprocs: int) -> None:
+        self.layout = layout
+        self.nprocs = nprocs
+        total = layout.total_bytes
+        self.w_owner = np.full(total, -1, dtype=np.int32)
+        self.w_clock = np.zeros(total, dtype=np.int64)
+        self.w_event = np.full(total, -1, dtype=np.int64)
+        self.r_clock = np.zeros((nprocs, total), dtype=np.int64)
+        self.r_event = np.full((nprocs, total), -1, dtype=np.int64)
+        self.bytes_checked = 0
+
+    # ------------------------------------------------------------------
+
+    def access(self, pid: int, is_write: bool,
+               ranges: List[Tuple[int, int]], clock: List[int],
+               event_idx: int) -> List[Conflict]:
+        """Check one access against the shadow, then record it.
+
+        ``ranges`` are the contiguous [start, stop) byte ranges of the
+        accessed section; ``clock`` is the accessor's vector clock at
+        this point in the stream.  Returns one conflict sample per
+        distinct prior access event (not per byte).
+        """
+        C = np.asarray(clock, dtype=np.int64)
+        own = int(clock[pid])
+        conflicts: List[Conflict] = []
+        for start, stop in ranges:
+            self.bytes_checked += stop - start
+            owners = self.w_owner[start:stop]
+            others = (owners >= 0) & (owners != pid)
+            if others.any():
+                # My clock's component for each byte's last writer; the
+                # np.where guard keeps the gather in bounds where there
+                # is no writer (masked out by ``others``).
+                c_at_owner = C[np.where(owners >= 0, owners, 0)]
+                bad = others & (c_at_owner < self.w_clock[start:stop])
+                if bad.any():
+                    self._collect(conflicts, self.w_event[start:stop],
+                                  owners, bad, start,
+                                  "ww" if is_write else "wr")
+            if is_write:
+                for q in range(self.nprocs):
+                    if q == pid:
+                        continue
+                    rc = self.r_clock[q, start:stop]
+                    bad = (rc > 0) & (C[q] < rc)
+                    if bad.any():
+                        self._collect(conflicts,
+                                      self.r_event[q, start:stop],
+                                      None, bad, start, "rw", pid_b=q)
+                self.w_owner[start:stop] = pid
+                self.w_clock[start:stop] = own
+                self.w_event[start:stop] = event_idx
+                # A write subsumes the read history: future conflicts
+                # with those reads are also conflicts with this write.
+                self.r_clock[:, start:stop] = 0
+            else:
+                self.r_clock[pid, start:stop] = own
+                self.r_event[pid, start:stop] = event_idx
+        return conflicts
+
+    @staticmethod
+    def _collect(conflicts, events, owners, bad, start, kind,
+                 pid_b: int = -1) -> None:
+        """One sample (first bad byte) per distinct prior event."""
+        idxs = np.flatnonzero(bad)
+        prior = events[idxs]
+        _, first = np.unique(prior, return_index=True)
+        for i in first:
+            b = int(idxs[i])
+            who = pid_b if owners is None else int(owners[b])
+            conflicts.append((int(prior[i]), who, start + b, kind))

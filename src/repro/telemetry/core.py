@@ -30,10 +30,15 @@ from repro.telemetry.spans import SpanLog
 class Telemetry:
     """Event bus + metrics registry + span log for one run."""
 
-    def __init__(self, events: bool = True, spans: bool = True) -> None:
+    def __init__(self, events: bool = True, spans: bool = True,
+                 access_events: bool = False) -> None:
         self.bus = EventBus(enabled=events)
         self.metrics = MetricsRegistry()
         self.spans = SpanLog(enabled=spans)
+        #: Record every shared-memory access (``rt.read``/``rt.write``).
+        #: Off by default: the access stream is orders of magnitude
+        #: denser than protocol events and only the sanitizer wants it.
+        self.access_events = access_events
         self.nprocs = 0
         self._clock: Callable[[], float] = lambda: 0.0
         self._epoch: Dict[int, int] = {}
@@ -95,6 +100,16 @@ class Telemetry:
             now = self._clock()
             self.spans.record(pid, name, now, now + cost,
                               self._epoch.get(pid, 0))
+
+    def access(self, pid: int, kind: str, array: str, dims,
+               pages) -> None:
+        """One shared-memory access (``kind`` is ``rt.read``/``rt.write``).
+
+        Only emitted when :attr:`access_events` is set; callers should
+        gate on that flag themselves to skip argument marshalling."""
+        if self.access_events:
+            self.event(pid, kind, array=array, dims=dims,
+                       pages=tuple(pages))
 
     def barrier(self, pid: int) -> None:
         """Enter a barrier: advance the epoch and record the event."""

@@ -7,9 +7,17 @@ augmented run-time interface, the interpreter) reports through one
     sim.*   process lifecycle               (sim.proc_start, sim.proc_done)
     net.*   message traffic                 (net.msg)
     tm.*    protocol activity               (tm.read_fault, tm.diff_apply, ...)
+    rt.*    shared-memory accesses          (rt.read, rt.write)
     app.*   application phase markers       (app.phase)
 
 The full taxonomy is documented in ``docs/observability.md``.
+
+``rt.*`` access events and the section details on ``tm.validate`` /
+``tm.push`` carry :class:`repro.memory.section.Section` geometry as
+plain nested tuples — ``pack_sections`` / ``unpack_sections`` below are
+the one canonical encoding, shared by the emitters in ``tm/`` and the
+consumers in ``repro.sanitizer`` (which must also accept the list-of-
+lists shape that a JSONL round trip produces).
 
 Overhead discipline: instrumented code holds a reference that is ``None``
 when telemetry is off, so a disabled run pays one attribute test per
@@ -21,6 +29,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
+
+
+def pack_dims(dims) -> tuple:
+    """Section dims as hashable JSON-safe nested tuples."""
+    return tuple((int(lo), int(hi), int(step)) for lo, hi, step in dims)
+
+
+def pack_sections(sections) -> tuple:
+    """Encode sections as ``((array, dims), ...)`` for event args."""
+    return tuple((s.array, pack_dims(s.dims)) for s in sections)
+
+
+def unpack_sections(packed):
+    """Decode ``pack_sections`` output (tuples or JSONL lists)."""
+    from repro.memory.section import Section
+    return [Section(array, pack_dims(dims)) for array, dims in packed]
 
 
 @dataclass(frozen=True)

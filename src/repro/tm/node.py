@@ -296,7 +296,8 @@ class TmNode:
             # ``pages`` lets repro.inspect replay the write-protection of
             # the dirty set when reconstructing per-page state machines.
             self.tel.event(self.pid, "tm.interval", index=rec.index,
-                           npages=len(rec.pages), pages=rec.pages)
+                           npages=len(rec.pages), pages=rec.pages,
+                           overwrite=tuple(sorted(rec.overwrite_pages)))
         return rec
 
     def _record_interval(self, rec: IntervalRecord) -> bool:
@@ -584,10 +585,12 @@ class TmNode:
         pages = sorted({p for s in sections
                         for p in self.layout.pages_of(s)})
         if self.tel is not None:
+            from repro.telemetry.events import pack_sections
             self.tel.proto(self.pid, "tm.validate", "tm.validates",
                            npages=len(pages),
                            access=access_type.value, w_sync=False,
-                           asynchronous=asynchronous)
+                           asynchronous=asynchronous,
+                           sections=pack_sections(sections))
         if access_type.fetches:
             fetch = [p for p in pages if not self.pages[p].valid]
         else:
@@ -626,10 +629,12 @@ class TmNode:
                 return
         self.stats.validates += 1
         if self.tel is not None:
+            from repro.telemetry.events import pack_sections
             self.tel.proto(self.pid, "tm.validate", "tm.validates",
                            nsections=len(sections),
                            access=access_type.value, w_sync=True,
-                           asynchronous=asynchronous)
+                           asynchronous=asynchronous,
+                           sections=pack_sections(sections))
         self._wsync_queue.append(
             _WsyncEntry(list(sections), access_type, asynchronous))
 
@@ -1094,8 +1099,15 @@ class TmNode:
         """
         self.stats.pushes += 1
         if self.tel is not None:
+            from repro.telemetry.events import pack_sections
+            # Emitted before end_interval() on purpose: the sanitizer
+            # checks this interval's write log against the declared
+            # write sections before tm.interval retires the log.
             self.tel.proto(self.pid, "tm.push", "tm.pushes",
-                           asynchronous=asynchronous)
+                           asynchronous=asynchronous,
+                           round=self._push_round + 1,
+                           reads=pack_sections(read_sections[self.pid]),
+                           writes=pack_sections(write_sections[self.pid]))
         rec = self.end_interval()
         index = rec.index if rec is not None else None
         self._push_round += 1
@@ -1170,7 +1182,8 @@ class TmNode:
                         self.applied.add((q, sender_index, p))
                 if sec_pages and self.tel is not None:
                     self.tel.event(self.pid, "tm.push_recv",
-                                   pages=sec_pages, src=q)
+                                   pages=sec_pages, src=q,
+                                   round=round_tag)
         if self.tel is not None:
             self.tel.span(self.pid, "wait.push", t0,
                           self.sys.engine.now)

@@ -73,25 +73,44 @@ class SharedArray:
 
     # ------------------------------------------------------------------
 
+    def _record(self, kind: str, section: Section, pages) -> None:
+        """Emit an ``rt.read``/``rt.write`` access event (sanitizer feed).
+
+        Emitted *before* the page-state check so the access appears in
+        program order, ahead of any faults it triggers."""
+        tel = self.node.tel
+        if tel is not None and tel.access_events:
+            from repro.telemetry.events import pack_dims
+            tel.access(self.node.pid, kind, self.name,
+                       pack_dims(section.dims), pages)
+
     def read(self, section: Section) -> np.ndarray:
         """Readable view of ``section`` (faults invalid pages in)."""
-        self.node.ensure_read(self.node.layout.pages_of(section))
+        pages = self.node.layout.pages_of(section)
+        self._record("rt.read", section, pages)
+        self.node.ensure_read(pages)
         return self.node.image.section_view(section)
 
     def write(self, section: Section, values) -> None:
         """Store ``values`` into ``section`` (write-faults as needed)."""
-        self.node.ensure_write(self.node.layout.pages_of(section))
+        pages = self.node.layout.pages_of(section)
+        self._record("rt.write", section, pages)
+        self.node.ensure_write(pages)
         self.node.image.section_view(section)[...] = values
 
     def write_view(self, section: Section) -> np.ndarray:
         """Writable view of ``section`` (no read fault; stale bytes may
         remain outside what the caller overwrites)."""
-        self.node.ensure_write(self.node.layout.pages_of(section))
+        pages = self.node.layout.pages_of(section)
+        self._record("rt.write", section, pages)
+        self.node.ensure_write(pages)
         return self.node.image.section_view(section)
 
     def rmw(self, section: Section, fn) -> None:
         """Read-modify-write ``section`` via ``fn(view)`` in place."""
         pages = self.node.layout.pages_of(section)
+        self._record("rt.read", section, pages)
+        self._record("rt.write", section, pages)
         self.node.ensure_read(pages)
         self.node.ensure_write(pages)
         view = self.node.image.section_view(section)

@@ -9,6 +9,7 @@ Usage::
     python -m repro inspect jacobi --mode dsm --opt aggr
     python -m repro check [--update-baselines]
     python -m repro chaos --apps jacobi is --intensity heavy
+    python -m repro recover --apps jacobi --schedules manager lock
     python -m repro sanitize jacobi --opt push
     python -m repro sanitize --all
     python -m repro bench --json BENCH_pr4.json
@@ -254,16 +255,23 @@ def chaos_main(argv) -> int:
     parser.add_argument("--no-inspect", action="store_true",
                         help="skip the protocol-inspector invariant "
                              "checks on each faulted run")
+    parser.add_argument("--plan", default=None, metavar="FILE",
+                        help="run this declarative JSON fault plan "
+                             "instead of the named intensities")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="export the sweep results as JSON "
                              "('-' for stdout)")
     args = parser.parse_args(argv)
 
+    plan = None
+    if args.plan:
+        from repro.faults import plan_from_json
+        plan = plan_from_json(args.plan)
     cases = chaos.sweep(apps=args.apps, opts=args.opts,
                         intensities=args.intensities, seed=args.seed,
                         dataset=args.dataset, nprocs=args.nprocs,
                         page_size=args.page_size,
-                        inspect=not args.no_inspect)
+                        inspect=not args.no_inspect, plan=plan)
     payload = {"seed": args.seed, "dataset": args.dataset,
                "nprocs": args.nprocs, "page_size": args.page_size,
                "cases": [c.as_dict() for c in cases]}
@@ -271,6 +279,83 @@ def chaos_main(argv) -> int:
         print(json.dumps(payload, indent=2))
     else:
         print(chaos.render_chaos(cases))
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(payload, fh, indent=2)
+                fh.write("\n")
+            print(f"wrote {args.json}")
+    return 0 if all(c.ok for c in cases) else 1
+
+
+def recover_main(argv) -> int:
+    """``python -m repro recover``: crash-recovery robustness sweep."""
+    import json
+
+    from repro.apps import all_apps
+    from repro.harness import recover
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro recover",
+        parents=[_sizing_parent()],
+        description="Sweep apps x opt levels x mined crash schedules "
+                    "under the crash-recovery subsystem.  Every crashed "
+                    "run must produce results bit-identical to the "
+                    "fault-free run with zero inspector violations and "
+                    "zero sanitizer findings; the table reports what "
+                    "crash tolerance cost (backup log traffic, state "
+                    "transfer, recovery time).")
+    parser.add_argument("--apps", nargs="*", default=None,
+                        choices=sorted(all_apps()),
+                        help="applications to sweep (default: all)")
+    parser.add_argument("--opts", nargs="*", default=None,
+                        help="DSM optimization levels (default: every "
+                             "level applicable to each app)")
+    parser.add_argument("--schedules", nargs="*", default=None,
+                        choices=list(recover.SCHEDULES),
+                        help="crash schedules to mine (default: every "
+                             "schedule applicable to each app)")
+    parser.add_argument("--plan", default=None, metavar="FILE",
+                        help="run this declarative JSON fault plan for "
+                             "each app/opt pair instead of the mined "
+                             "schedules")
+    parser.add_argument("--no-inspect", action="store_true",
+                        help="skip the protocol-inspector invariant "
+                             "checks on each crashed run")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="export the sweep results as JSON "
+                             "('-' for stdout)")
+    args = parser.parse_args(argv)
+
+    if args.plan:
+        from repro.apps import get_app
+        from repro.faults import plan_from_json
+        from repro.harness.modes import applicable_levels
+        plan = plan_from_json(args.plan)
+        names = sorted(args.apps) if args.apps else sorted(all_apps())
+        cases = []
+        for app in names:
+            app_opts = sorted(applicable_levels(get_app(app)))
+            for opt in (args.opts if args.opts is not None
+                        else app_opts):
+                if opt not in app_opts:
+                    continue
+                cases.append(recover.run_case(
+                    app, opt, "plan", dataset=args.dataset,
+                    nprocs=args.nprocs, page_size=args.page_size,
+                    inspect=not args.no_inspect, plan=plan))
+    else:
+        cases = recover.sweep(apps=args.apps, opts=args.opts,
+                              schedules=args.schedules,
+                              dataset=args.dataset, nprocs=args.nprocs,
+                              page_size=args.page_size,
+                              inspect=not args.no_inspect)
+    payload = {"dataset": args.dataset, "nprocs": args.nprocs,
+               "page_size": args.page_size,
+               "cases": [c.as_dict() for c in cases]}
+    if args.json == "-":
+        print(json.dumps(payload, indent=2))
+    else:
+        print(recover.render_recover(cases))
         if args.json:
             with open(args.json, "w") as fh:
                 json.dump(payload, fh, indent=2)
@@ -398,7 +483,8 @@ def bench_main(argv) -> int:
 
 SUBCOMMANDS = {"trace": trace_main, "inspect": inspect_main,
                "check": check_main, "chaos": chaos_main,
-               "sanitize": sanitize_main, "bench": bench_main}
+               "recover": recover_main, "sanitize": sanitize_main,
+               "bench": bench_main}
 
 
 def main(argv=None) -> int:
@@ -411,7 +497,8 @@ def main(argv=None) -> int:
                     "Subcommands: trace (Chrome-trace capture), inspect "
                     "(protocol inspection report), check (baseline "
                     "regression gate), chaos (fault-injection "
-                    "robustness sweep), sanitize (race + hint-soundness "
+                    "robustness sweep), recover (crash-recovery "
+                    "sweep), sanitize (race + hint-soundness "
                     "checking), bench (machine-readable benchmark "
                     "summary); see 'python -m repro <sub> -h'.")
     parser.add_argument("artifacts", nargs="+",

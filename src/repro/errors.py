@@ -29,6 +29,11 @@ class ProtocolError(ReproError):
     """The DSM protocol reached an invalid state."""
 
 
+class RecoveryError(ReproError):
+    """Crash recovery could not restore a consistent state (e.g. the
+    surviving logs were garbage-collected past the needed interval)."""
+
+
 class LayoutError(ReproError):
     """Invalid shared-memory layout request (overlap, overflow, bad shape)."""
 

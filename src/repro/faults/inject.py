@@ -22,9 +22,9 @@ fault counters and, when telemetry is attached, emitted as a
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List, Optional, Union
 
-from repro.faults.plan import FaultPlan, NodeOutage
+from repro.faults.plan import FaultPlan, NodeCrash, NodeOutage
 
 
 class FaultInjector:
@@ -49,11 +49,21 @@ class FaultInjector:
             self.tel.event(src, f"fault.{kind}", to=dst, msg=msg_kind,
                            **args)
 
-    def outage_at(self, pid: int, t: float) -> Optional[NodeOutage]:
-        """The outage covering ``pid`` at simulated time ``t``, if any."""
+    def outage_at(self, pid: int, t: float) \
+            -> Optional[Union[NodeOutage, NodeCrash]]:
+        """The fault silencing ``pid``'s NIC at time ``t``, if any.
+
+        A :class:`NodeCrash` reboot window counts: while the victim
+        reboots its NIC is just as dark as during a plain outage, so
+        the wire and transport layers treat both identically (the
+        state wipe itself is the recovery subsystem's business).
+        """
         for o in self.plan.outages:
             if o.pid == pid and o.covers(t):
                 return o
+        for c in self.plan.crashes:
+            if c.pid == pid and c.covers(t):
+                return c
         return None
 
     # ------------------------------------------------------------------
@@ -67,8 +77,11 @@ class FaultInjector:
         empty list means the frame is lost.  Draws from the plan's RNG
         stream in a deterministic order.
         """
-        if self.outage_at(src, depart) is not None:
-            self._note("outage", src, dst, msg_kind, "faults_outage")
+        down = self.outage_at(src, depart)
+        if down is not None:
+            self._note("outage", src, dst, msg_kind, "faults_outage",
+                       **({"crash": True} if isinstance(down, NodeCrash)
+                          else {}))
             return []
         for part in self.plan.partitions:
             if part.separates(src, dst, depart):

@@ -8,9 +8,14 @@ controlled way.  A plan describes *what can go wrong on the fabric*:
   **delay** probabilities (with an exponential extra-delay magnitude),
 * timed **partitions** — groups of processors that cannot exchange
   messages during a window of simulated time,
-* timed **node outages** — a processor whose NIC goes silent (fail-stop
-  then restart): everything it sends or should receive during the
-  window is lost.
+* timed **node outages** — a processor whose NIC goes silent for a
+  window: everything it sends or should receive during the window is
+  lost (the node's DSM state survives untouched),
+* scheduled **node crashes** — a fail-stop crash of the whole node:
+  the NIC goes dark for the reboot window *and* the processor's DSM
+  runtime state (page copies, twins, diffs, interval log, lock tokens,
+  barrier arrival) is wiped and must be rebuilt by
+  :mod:`repro.recovery`.
 
 Plans are *data*, not behavior: the same plan object can be printed,
 serialized into a chaos report, and replayed.  All randomness is drawn
@@ -104,12 +109,13 @@ class Partition:
 class NodeOutage:
     """Processor ``pid``'s NIC is dead during ``[t0, t1)``.
 
-    This models a fail-stop crash followed by a restart *at the network
-    level*: the node neither sends nor receives while down, and the
-    reliable transport's retries carry the traffic across the outage.
-    (The DES cannot restart a processor's computation mid-run, so the
-    process itself keeps its state — the outage is a transient
-    network-silent failure, the case the transport must survive.)
+    This is a *network-level* outage only: the node neither sends nor
+    receives while down, and the reliable transport's retries carry the
+    traffic across the window — but the processor's DSM runtime state
+    (page copies, twins, diffs, interval log, lock tokens, barrier
+    arrival) survives untouched.  For a true fail-stop crash that wipes
+    that state and exercises :mod:`repro.recovery`, use
+    :class:`NodeCrash` instead.
     """
 
     pid: int
@@ -126,6 +132,52 @@ class NodeOutage:
 
 
 @dataclass(frozen=True)
+class NodeCrash:
+    """Processor ``pid`` fail-stops at time ``t`` and reboots.
+
+    Unlike :class:`NodeOutage` — a transient NIC silence that leaves
+    the node's memory intact — a crash wipes the victim's entire DSM
+    runtime state (page validity, twins, diffs, write notices, the
+    interval log, held and queued lock tokens, barrier arrival state).
+    The NIC is also dark for the reboot window ``[t, t + reboot_us)``.
+    After reboot the node re-enters the computation with every shared
+    page invalid and rebuilds its protocol state from the survivors via
+    :mod:`repro.recovery`; runs with crashes therefore require
+    ``mode="dsm"`` and at least two processors.
+
+    The crash is *realized* at the victim's next synchronization
+    operation (lock acquire/release, barrier or push entry) at or after
+    ``t``, so ``t`` is a lower bound on the wipe time.  Sync entries
+    are the points where every previously validated region has fully
+    run its kernels, which keeps the cut interval's overwrite
+    (WRITE_ALL) claims sound; see ``RecoveryManager.crashpoint``.
+    """
+
+    pid: int
+    t: float
+    #: Reboot duration: the NIC stays dark for ``[t, t + reboot_us)``.
+    reboot_us: float = 20000.0
+
+    def __post_init__(self) -> None:
+        if self.t < 0:
+            raise FaultPlanError(
+                f"NodeCrash time must be >= 0, got {self.t!r}")
+        if self.reboot_us <= 0:
+            raise FaultPlanError(
+                f"NodeCrash.reboot_us must be > 0, got "
+                f"{self.reboot_us!r}")
+
+    @property
+    def t1(self) -> float:
+        """End of the reboot window."""
+        return self.t + self.reboot_us
+
+    def covers(self, t: float) -> bool:
+        """Is the NIC dark at time ``t`` (inside the reboot window)?"""
+        return self.t <= t < self.t1
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A full, seeded description of what the fabric does wrong."""
 
@@ -137,11 +189,32 @@ class FaultPlan:
         field(default_factory=dict)
     partitions: Tuple[Partition, ...] = ()
     outages: Tuple[NodeOutage, ...] = ()
+    crashes: Tuple[NodeCrash, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "links", dict(self.links))
         object.__setattr__(self, "partitions", tuple(self.partitions))
         object.__setattr__(self, "outages", tuple(self.outages))
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        seen_pids = set()
+        for c in self.crashes:
+            if c.pid in seen_pids:
+                raise FaultPlanError(
+                    f"FaultPlan schedules more than one NodeCrash for "
+                    f"pid {c.pid}; a processor can crash at most once "
+                    f"per run")
+            seen_pids.add(c.pid)
+            for o in self.outages:
+                if o.pid == c.pid and o.t0 < c.t1 and c.t < o.t1:
+                    raise FaultPlanError(
+                        f"NodeCrash(pid={c.pid}, t={c.t:g}, "
+                        f"reboot_us={c.reboot_us:g}) overlaps "
+                        f"NodeOutage(pid={o.pid}, t0={o.t0:g}, "
+                        f"t1={o.t1:g}): a crash already implies a NIC "
+                        f"outage for its reboot window, and overlapping "
+                        f"the two makes the intended semantics "
+                        f"ambiguous — separate the windows or drop the "
+                        f"outage")
 
     # ------------------------------------------------------------------
 
@@ -175,6 +248,8 @@ class FaultPlan:
             parts.append(f"{len(self.partitions)} partitions")
         if self.outages:
             parts.append(f"{len(self.outages)} node outages")
+        if self.crashes:
+            parts.append(f"{len(self.crashes)} node crashes")
         return ", ".join(parts)
 
     def as_dict(self) -> Dict[str, object]:
@@ -191,4 +266,84 @@ class FaultPlan:
                            for p in self.partitions],
             "outages": [{"pid": o.pid, "t0": o.t0, "t1": o.t1}
                         for o in self.outages],
+            "crashes": [{"pid": c.pid, "t": c.t,
+                         "reboot_us": c.reboot_us}
+                        for c in self.crashes],
         }
+
+
+# ----------------------------------------------------------------------
+# Declarative plan files (the inverse of FaultPlan.as_dict).
+# ----------------------------------------------------------------------
+
+def plan_from_dict(data: Mapping[str, object]) -> FaultPlan:
+    """Build a :class:`FaultPlan` from its ``as_dict`` representation.
+
+    Accepts the exact shape :meth:`FaultPlan.as_dict` produces, with
+    every field optional; unknown keys are rejected so a typoed plan
+    file fails loudly instead of silently running fault-free.
+    """
+    if not isinstance(data, Mapping):
+        raise FaultPlanError(
+            f"fault plan must be a JSON object, got {type(data).__name__}")
+    known = {"seed", "default", "links", "partitions", "outages",
+             "crashes"}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise FaultPlanError(
+            f"unknown fault-plan keys {unknown}; expected a subset of "
+            f"{sorted(known)}")
+
+    def link_faults(spec, where: str) -> LinkFaults:
+        if not isinstance(spec, Mapping):
+            raise FaultPlanError(
+                f"{where} must be an object of LinkFaults fields")
+        allowed = set(_PROB_FIELDS) | {"delay_mean_us"}
+        bad = sorted(set(spec) - allowed)
+        if bad:
+            raise FaultPlanError(
+                f"{where} has unknown fields {bad}; expected a subset "
+                f"of {sorted(allowed)}")
+        return LinkFaults(**spec)
+
+    links: Dict[Tuple[int, int], LinkFaults] = {}
+    for key, spec in dict(data.get("links") or {}).items():
+        try:
+            s, t = (int(x) for x in str(key).split("->"))
+        except ValueError:
+            raise FaultPlanError(
+                f"link key {key!r} must look like 'src->dst'") from None
+        links[(s, t)] = link_faults(spec, f"links[{key!r}]")
+    try:
+        return FaultPlan(
+            seed=int(data.get("seed", 0)),
+            default=link_faults(data.get("default") or {}, "default"),
+            links=links,
+            partitions=tuple(
+                Partition(t0=p["t0"], t1=p["t1"],
+                          groups=tuple(tuple(g) for g in p["groups"]))
+                for p in (data.get("partitions") or ())),
+            outages=tuple(
+                NodeOutage(pid=int(o["pid"]), t0=o["t0"], t1=o["t1"])
+                for o in (data.get("outages") or ())),
+            crashes=tuple(
+                NodeCrash(pid=int(c["pid"]), t=c["t"],
+                          reboot_us=c.get("reboot_us", 20000.0))
+                for c in (data.get("crashes") or ())))
+    except (KeyError, TypeError) as exc:
+        raise FaultPlanError(f"malformed fault plan: {exc!r}") from exc
+
+
+def plan_from_json(path: str) -> FaultPlan:
+    """Load a declarative :class:`FaultPlan` from a JSON file."""
+    import json
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except OSError as exc:
+        raise FaultPlanError(f"cannot read fault plan {path!r}: {exc}") \
+            from exc
+    except ValueError as exc:
+        raise FaultPlanError(
+            f"fault plan {path!r} is not valid JSON: {exc}") from exc
+    return plan_from_dict(data)

@@ -102,9 +102,16 @@ def _arrays_identical(base: Dict[str, np.ndarray],
 
 def run_case(app: str, opt: Optional[str], intensity: str,
              seed: int = 0, dataset: str = "tiny", nprocs: int = 4,
-             page_size: int = 1024, inspect: bool = True) -> ChaosCase:
-    """Run one app/opt pair fault-free and faulted; compare bit-by-bit."""
-    if intensity not in INTENSITIES:
+             page_size: int = 1024, inspect: bool = True,
+             plan: Optional[FaultPlan] = None) -> ChaosCase:
+    """Run one app/opt pair fault-free and faulted; compare bit-by-bit.
+
+    Pass ``plan`` to run an explicit declarative :class:`FaultPlan`
+    (e.g. loaded with :func:`repro.faults.plan_from_json`) instead of
+    the seeded uniform plan named by ``intensity``; the intensity then
+    only labels the case.
+    """
+    if plan is None and intensity not in INTENSITIES:
         raise ReproError(
             f"unknown intensity {intensity!r}; expected one of "
             f"{sorted(INTENSITIES)}")
@@ -115,7 +122,8 @@ def run_case(app: str, opt: Optional[str], intensity: str,
     case.base_time = base.time
     case.base_messages = base.net.messages
 
-    plan = FaultPlan.uniform(seed=seed, **INTENSITIES[intensity])
+    if plan is None:
+        plan = FaultPlan.uniform(seed=seed, **INTENSITIES[intensity])
     try:
         out = run(spec, faults=plan, telemetry=True)
     except Exception as exc:
@@ -140,12 +148,19 @@ def sweep(apps: Optional[Sequence[str]] = None,
           opts: Optional[Sequence[str]] = None,
           intensities: Optional[Sequence[str]] = None,
           seed: int = 0, dataset: str = "tiny", nprocs: int = 4,
-          page_size: int = 1024,
-          inspect: bool = True) -> List[ChaosCase]:
-    """The chaos matrix: apps x applicable opt levels x intensities."""
+          page_size: int = 1024, inspect: bool = True,
+          plan: Optional[FaultPlan] = None) -> List[ChaosCase]:
+    """The chaos matrix: apps x applicable opt levels x intensities.
+
+    With an explicit ``plan``, each app/opt pair runs that one plan
+    (labelled "plan") instead of the named intensities.
+    """
     names = sorted(apps) if apps else sorted(all_apps())
-    levels = sorted(intensities) if intensities \
-        else ("light", "moderate", "heavy")
+    if plan is not None:
+        levels: Sequence[str] = ("plan",)
+    else:
+        levels = sorted(intensities) if intensities \
+            else ("light", "moderate", "heavy")
     cases: List[ChaosCase] = []
     for app in names:
         app_opts = sorted(applicable_levels(get_app(app)))
@@ -156,7 +171,7 @@ def sweep(apps: Optional[Sequence[str]] = None,
                 cases.append(run_case(
                     app, opt, intensity, seed=seed, dataset=dataset,
                     nprocs=nprocs, page_size=page_size,
-                    inspect=inspect))
+                    inspect=inspect, plan=plan))
     return cases
 
 

@@ -1,0 +1,300 @@
+"""Recovery sweep: prove a fail-stop crash is invisible to the result.
+
+For every case (app x opt level x crash schedule) this harness runs the
+application twice — once fault-free, once with a scheduled
+:class:`~repro.faults.NodeCrash` — and asserts the results are
+*bit-identical*: checkpointing, interval re-replication and manager
+failover (``repro.recovery``) must reconstruct exactly the state the
+crash wiped.  Each faulted run is traced, fed through the protocol
+inspector (whose invariants must still reconcile exactly) and through
+the DSM sanitizer (which must report zero races and zero hint
+violations).
+
+Crash schedules are *mined* from the fault-free run's telemetry rather
+than hard-coded, so each case exercises a distinct protocol situation:
+
+``early`` / ``mid``
+    The last (resp. second) processor crashes at 25% (resp. 50%) of the
+    fault-free run time — plain mid-computation crashes.
+``manager``
+    Processor 0 — the barrier master and the static manager of the
+    lowest locks — crashes at 35%: exercises barrier-box and routing
+    reconstruction (manager failover).
+``barrier``
+    While some processor sits in its longest barrier wait, a *different*
+    processor (one it is waiting for) crashes: the victim's own arrival
+    is the crash point and the survivors are mid-barrier.
+``lock``
+    A processor crashes between a lock acquire and the matching release
+    (only mined when the app uses locks): the crash realizes at the
+    release with the token held, exercising token placement and queued-
+    request reconstruction.
+
+What a crash *may* change is cost, and the sweep reports exactly that:
+log messages/bytes shipped to the backup pre-crash, state bytes
+transferred during recovery, and the recovery duration.
+
+Used by ``python -m repro recover`` and the recovery-smoke CI job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.apps import all_apps, get_app
+from repro.errors import ReproError
+from repro.faults import FaultPlan, NodeCrash
+from repro.harness import report
+from repro.harness.modes import applicable_levels
+from repro.harness.spec import RunSpec, run
+from repro.telemetry import Telemetry
+
+#: Mined schedule names, in the order the sweep runs them.
+SCHEDULES = ("early", "mid", "manager", "barrier", "lock")
+
+
+@dataclass
+class Schedule:
+    """One named crash placement for a given app/opt pair."""
+
+    name: str
+    pid: int
+    t: float
+
+    def plan(self) -> FaultPlan:
+        return FaultPlan(crashes=(NodeCrash(pid=self.pid, t=self.t),))
+
+
+@dataclass
+class RecoverCase:
+    """Outcome of one fault-free/crashed run pair."""
+
+    app: str
+    opt: Optional[str]
+    schedule: str
+    pid: int = 0
+    t: float = 0.0
+    identical: bool = False      # arrays bit-identical to fault-free run
+    realized: bool = False       # the crash actually fired
+    violations: List[str] = field(default_factory=list)  # inspector
+    findings: List[str] = field(default_factory=list)    # sanitizer
+    error: Optional[str] = None
+    # Cost of crash tolerance:
+    base_time: float = 0.0
+    time: float = 0.0
+    log_messages: int = 0
+    log_bytes: int = 0
+    state_bytes: int = 0
+    recovery_us: float = 0.0
+    records: int = 0             # interval records restored
+    diffs: int = 0               # diffs restocked from the backup log
+
+    @property
+    def ok(self) -> bool:
+        return (self.identical and not self.violations
+                and not self.findings and self.error is None)
+
+    @property
+    def added_time(self) -> float:
+        return self.time - self.base_time
+
+    def as_dict(self) -> dict:
+        return {
+            "app": self.app, "opt": self.opt, "schedule": self.schedule,
+            "pid": self.pid, "t_us": self.t,
+            "ok": self.ok, "identical": self.identical,
+            "realized": self.realized,
+            "violations": list(self.violations),
+            "findings": list(self.findings), "error": self.error,
+            "base_time_us": self.base_time, "time_us": self.time,
+            "added_time_us": self.added_time,
+            "log_messages": self.log_messages,
+            "log_bytes": self.log_bytes,
+            "state_bytes": self.state_bytes,
+            "recovery_us": self.recovery_us,
+            "records": self.records, "diffs": self.diffs,
+        }
+
+
+def mine_schedules(base, nprocs: int,
+                   names: Optional[Sequence[str]] = None) -> List[Schedule]:
+    """Derive crash schedules from a fault-free traced run.
+
+    ``base`` is the fault-free :class:`DsmOutcome` run with telemetry.
+    Schedules that do not apply (a lock-free app has no ``lock`` case)
+    are silently omitted.
+    """
+    wanted = set(names if names is not None else SCHEDULES)
+    total = base.time
+    out: List[Schedule] = []
+    if "early" in wanted:
+        out.append(Schedule("early", nprocs - 1, total * 0.25))
+    if "mid" in wanted and nprocs > 1:
+        out.append(Schedule("mid", 1, total * 0.50))
+    if "manager" in wanted:
+        out.append(Schedule("manager", 0, total * 0.35))
+    tel = base.telemetry
+    if tel is not None and "barrier" in wanted:
+        waits = [s for s in tel.spans.spans if s.name == "wait.barrier"]
+        if waits:
+            s = max(waits, key=lambda s: s.t1 - s.t0)
+            victim = (s.pid + 1) % nprocs
+            out.append(Schedule("barrier", victim, (s.t0 + s.t1) / 2))
+    if tel is not None and "lock" in wanted:
+        held: Dict[int, float] = {}
+        best = None
+        for ev in tel.bus.events:
+            if ev.kind == "tm.lock_acquire":
+                held[ev.pid] = ev.ts
+            elif ev.kind == "tm.lock_release" and ev.pid in held:
+                t0 = held.pop(ev.pid)
+                if best is None or ev.ts - t0 > best[2] - best[1]:
+                    best = (ev.pid, t0, ev.ts)
+        if best is not None:
+            pid, t0, t1 = best
+            out.append(Schedule("lock", pid, (t0 + t1) / 2))
+    return out
+
+
+def _arrays_identical(base: Dict[str, np.ndarray],
+                      faulted: Dict[str, np.ndarray]) -> bool:
+    if set(base) != set(faulted):
+        return False
+    return all(np.array_equal(base[name], faulted[name])
+               for name in base)
+
+
+def run_case(app: str, opt: Optional[str], schedule,
+             base=None, dataset: str = "tiny", nprocs: int = 4,
+             page_size: int = 1024, inspect: bool = True,
+             plan: Optional[FaultPlan] = None) -> RecoverCase:
+    """Run one app/opt pair fault-free and crashed; compare bit-by-bit.
+
+    ``schedule`` is a :class:`Schedule` (or a name to mine from the
+    fault-free run).  Pass ``plan`` to run an explicit declarative
+    :class:`FaultPlan` instead; ``schedule`` then only labels the case.
+    """
+    from repro.sanitizer import Sanitizer
+    from repro.sanitizer.replay import _resolve
+
+    spec = RunSpec(app=app, mode="dsm", dataset=dataset, nprocs=nprocs,
+                   opt=opt, page_size=page_size)
+    if base is None:
+        base = run(spec, telemetry=True)
+    if isinstance(schedule, str) and plan is None:
+        mined = mine_schedules(base, nprocs, names=(schedule,))
+        if not mined:
+            raise ReproError(
+                f"schedule {schedule!r} does not apply to {app} "
+                f"(no such wait in the fault-free trace)")
+        schedule = mined[0]
+    if plan is not None:
+        name = schedule if isinstance(schedule, str) else schedule.name
+        crash = plan.crashes[0] if getattr(plan, "crashes", ()) else None
+        case = RecoverCase(app=app, opt=opt, schedule=name,
+                           pid=crash.pid if crash else -1,
+                           t=crash.t if crash else 0.0)
+    else:
+        plan = schedule.plan()
+        case = RecoverCase(app=app, opt=opt, schedule=schedule.name,
+                           pid=schedule.pid, t=schedule.t)
+    case.base_time = base.time
+
+    _, opt_cfg, _, layout = _resolve(app, opt, dataset, nprocs, page_size)
+    tel = Telemetry(access_events=True)
+    san = Sanitizer(layout, nprocs, opt=opt_cfg)
+    san.attach(tel.bus)
+    try:
+        out = run(spec, faults=plan, telemetry=tel)
+    except Exception as exc:
+        case.error = f"{type(exc).__name__}: {exc}"
+        return case
+    case.time = out.time
+    case.identical = _arrays_identical(base.arrays, out.arrays)
+    for ev in tel.bus.events:
+        if ev.kind == "rec.crash":
+            case.realized = True
+        elif ev.kind == "rec.recover":
+            a = ev.args or {}
+            case.log_messages = a.get("log_messages", 0)
+            case.log_bytes = a.get("log_bytes", 0)
+            case.state_bytes = a.get("state_bytes", 0)
+            case.recovery_us = a.get("dur_us", 0.0)
+            case.records = a.get("records", 0)
+            case.diffs = a.get("diffs", 0)
+    rep = san.finish()
+    case.findings = [f"[{f.category}:{f.kind}] {f.detail}"
+                     for f in rep.findings]
+    case.findings += rep.reconcile(out)
+    if inspect:
+        from repro.inspect import InspectReport
+        irep = InspectReport.build(
+            out, title=f"{app}/dsm/{opt}/{case.schedule}")
+        case.violations = irep.reconcile()
+    return case
+
+
+def sweep(apps: Optional[Sequence[str]] = None,
+          opts: Optional[Sequence[str]] = None,
+          schedules: Optional[Sequence[str]] = None,
+          dataset: str = "tiny", nprocs: int = 4,
+          page_size: int = 1024,
+          inspect: bool = True) -> List[RecoverCase]:
+    """The recovery matrix: apps x applicable opt levels x schedules."""
+    names = sorted(apps) if apps else sorted(all_apps())
+    cases: List[RecoverCase] = []
+    for app in names:
+        app_opts = sorted(applicable_levels(get_app(app)))
+        for opt in (opts if opts is not None else app_opts):
+            if opt not in app_opts:
+                continue
+            spec = RunSpec(app=app, mode="dsm", dataset=dataset,
+                           nprocs=nprocs, opt=opt, page_size=page_size)
+            base = run(spec, telemetry=True)
+            for sched in mine_schedules(base, nprocs, names=schedules):
+                cases.append(run_case(
+                    app, opt, sched, base=base, dataset=dataset,
+                    nprocs=nprocs, page_size=page_size,
+                    inspect=inspect))
+    return cases
+
+
+def render_recover(cases: Sequence[RecoverCase]) -> str:
+    """Human-readable sweep table plus a one-line verdict."""
+    rows = []
+    for c in cases:
+        if c.error is not None:
+            status = "ERROR"
+        elif not c.identical:
+            status = "DIVERGED"
+        elif c.violations or c.findings:
+            status = "INVARIANT"
+        else:
+            status = "ok"
+        rows.append([c.app, c.opt or "-", c.schedule, f"P{c.pid}",
+                     status, c.log_messages, c.log_bytes,
+                     c.state_bytes, f"{c.recovery_us:.0f}us",
+                     f"{c.added_time:+.0f}us"])
+    table = report.render_table(
+        "Recovery sweep: crashed vs fault-free (bit-identical required)",
+        ["app", "opt", "schedule", "victim", "status", "log msgs",
+         "log B", "state B", "recovery", "+time"],
+        rows,
+        note="status 'ok' = results bit-identical, zero inspector "
+             "violations, zero sanitizer findings; log counts what the "
+             "victim shipped to its backup before the crash.")
+    bad = [c for c in cases if not c.ok]
+    verdict = (f"RECOVER OK: {len(cases)} crashes recovered "
+               f"bit-identically"
+               if not bad else
+               f"RECOVER FAIL: {len(bad)} of {len(cases)} cases "
+               f"diverged")
+    lines = [table, verdict]
+    for c in bad:
+        detail = c.error or ("result diverged" if not c.identical else
+                             "; ".join(c.violations + c.findings))
+        lines.append(f"  ! {c.app}/{c.opt}/{c.schedule}: {detail}")
+    return "\n".join(lines)

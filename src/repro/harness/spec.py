@@ -129,6 +129,12 @@ def run(spec: Union[RunSpec, str, AppSpec, Program], **overrides) -> RunOutcome:
             raise ReproError(
                 "mode 'seq' has no network: faults/transport do not apply")
         return run_seq(spec.resolve_program(), telemetry=tel)
+    if spec.faults is not None and getattr(spec.faults, "crashes", ()) \
+            and spec.mode != "dsm":
+        raise ReproError(
+            f"node crashes need the DSM recovery subsystem; mode "
+            f"{spec.mode!r} cannot recover a crashed node (use mode "
+            f"'dsm' or drop the crashes from the fault plan)")
     if spec.mode == "dsm":
         return run_dsm(spec.resolve_program(), nprocs=spec.nprocs,
                        opt=spec.resolve_opt(), config=spec.config,

@@ -39,7 +39,14 @@ event               precondition                                   state change
 ``tm.push_expect``  —                                              valid=False for ``pages``
 ``tm.push_recv``    —                                              valid=True for ``pages``
 ``tm.gc_discard``   —                                              every page of the pid valid=True
+``rec.crash``       —                                              every page of the pid invalid
 ==================  =============================================  =======================================
+
+A ``rec.crash`` event (fail-stop node crash, ``repro.recovery``) wipes
+the victim's reconstructed states: every page becomes invalid with no
+twin, and — because recovery replays every missed write notice before
+the victim touches shared data again — the pages count as
+invalidated-ever, so post-recovery diff applications are legal.
 """
 
 from __future__ import annotations
@@ -127,7 +134,7 @@ _PAGE_KINDS = frozenset((
     "tm.read_fault", "tm.write_fault", "tm.invalidate", "tm.twin",
     "tm.diff_create", "tm.diff_apply", "tm.full_page", "tm.page_valid",
     "tm.write_enable", "tm.interval", "tm.protect_down", "tm.overwrite",
-    "tm.push_expect", "tm.push_recv", "tm.gc_discard",
+    "tm.push_expect", "tm.push_recv", "tm.gc_discard", "rec.crash",
 ))
 
 
@@ -143,6 +150,9 @@ class PageTimelines:
         self.counters: Dict[int, PageCounters] = {}
         #: Human-readable invariant violations, in replay order.
         self.violations: List[str] = []
+        #: Processors that crashed (``rec.crash``): their untouched
+        #: pages default to invalid, not the boot default.
+        self._crashed: Set[int] = set()
 
     # ------------------------------------------------------------------
     # Construction.
@@ -161,7 +171,11 @@ class PageTimelines:
     def _state(self, pid: int, page: int) -> PageState:
         st = self.states.get((pid, page))
         if st is None:
-            st = self.states[(pid, page)] = PageState()
+            if pid in self._crashed:
+                st = PageState(valid=False, invalidated_ever=True)
+            else:
+                st = PageState()
+            self.states[(pid, page)] = st
         return st
 
     def _counter(self, page: int) -> PageCounters:
@@ -193,6 +207,15 @@ class PageTimelines:
             for (pid, page), st in self.states.items():
                 if pid == ev.pid:
                     st.valid = True
+            return
+        if kind == "rec.crash":
+            self._crashed.add(ev.pid)
+            for (pid, page), st in self.states.items():
+                if pid == ev.pid:
+                    st.valid = False
+                    st.write_enabled = False
+                    st.twin = False
+                    st.invalidated_ever = True
             return
         if kind in ("tm.interval", "tm.protect_down", "tm.overwrite",
                     "tm.push_expect", "tm.push_recv"):
@@ -249,7 +272,10 @@ class PageTimelines:
             c.writers.add(ev.pid)
         elif kind == "tm.diff_apply":
             writer = args.get("writer")
-            if writer == ev.pid:
+            if writer == ev.pid and ev.pid not in self._crashed:
+                # Post-crash the victim replays its full notice
+                # sequence, own diffs included (the apply progress of
+                # its checkpointed image died with it).
                 self._flag(ev, "processor re-applied its own diff")
             if st.valid:
                 self._flag(ev, "diff applied to a valid page")

@@ -1,0 +1,9 @@
+"""Crash recovery for the simulated DSM (fail-stop node crashes).
+
+See ``docs/robustness.md`` for the crash model, the logging protocol,
+the log GC watermark and the manager-failover rules.
+"""
+
+from repro.recovery.manager import RecoveryManager, elect_backup
+
+__all__ = ["RecoveryManager", "elect_backup"]

@@ -174,7 +174,10 @@ class HintChecker:
 
     def on_interval(self, ev) -> None:
         pid = ev.pid
-        if self.enabled:
+        # A crash-closed interval (``crash=True``) retires whatever the
+        # victim had written so far; a partially-written overwrite page
+        # there is the crash's fault, not a bad hint.
+        if self.enabled and not (ev.args or {}).get("crash"):
             ps = self.layout.page_size
             for page in (ev.args or {}).get("overwrite", ()):
                 page_log = self._wlog[pid, page * ps:(page + 1) * ps]

@@ -29,7 +29,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, RecoveryError
 from repro.memory.section import Section
 from repro.net.message import Message
 from repro.rt.access import AccessType
@@ -123,6 +123,18 @@ class TmNode:
         self.offline = False
         self._atomic_depth = 0
         self._deferred_cost = 0.0
+        #: Optional :class:`repro.recovery.RecoveryManager`; set when
+        #: the fault plan schedules NodeCrash faults.  ``None`` keeps
+        #: every hook down to a single attribute test.
+        self.rm = getattr(system, "recovery", None)
+        #: A nested protocol operation is running (crashes must not
+        #: realize inside it).
+        self._op_active = False
+        #: The (lid, rvc, sreq) request this node is blocked on, and the
+        #: (vc, sreq) barrier arrival it is blocked in — survivor-side
+        #: evidence for a crashed peer's state reconstruction.
+        self._awaiting_lock: Optional[tuple] = None
+        self._barrier_wait: Optional[tuple] = None
 
         # --- LRC state -------------------------------------------------
         self.vc: List[int] = [0] * self.nprocs
@@ -259,12 +271,15 @@ class TmNode:
     # Interval management.
     # ==================================================================
 
-    def end_interval(self) -> Optional[IntervalRecord]:
+    def end_interval(self, crash: bool = False) -> Optional[IntervalRecord]:
         """Close the current interval, creating write notices.
 
-        Called at lock releases, barrier arrivals and pushes.  Dirty pages
-        are write-protected; twins are kept so that diffs can be created
-        lazily on first demand.
+        Called at lock releases, barrier arrivals and pushes — and, with
+        ``crash=True``, when a scheduled crash cuts the interval short
+        (the flag rides on the ``tm.interval`` event so the sanitizer's
+        overwrite rule knows not to expect complete page writes).  Dirty
+        pages are write-protected; twins are kept so that diffs can be
+        created lazily on first demand.
         """
         if not self.dirty:
             return None
@@ -289,7 +304,8 @@ class TmNode:
                                  overwrite)
             self._record_interval(rec)
             self.dirty.clear()
-            if self.eager_diffing:
+            if self.eager_diffing or (self.rm is not None
+                                      and self.rm.eager_pid(self.pid)):
                 for p in pages:
                     self._flush_undiffed(p)
         if self.tel is not None:
@@ -297,7 +313,10 @@ class TmNode:
             # the dirty set when reconstructing per-page state machines.
             self.tel.event(self.pid, "tm.interval", index=rec.index,
                            npages=len(rec.pages), pages=rec.pages,
-                           overwrite=tuple(sorted(rec.overwrite_pages)))
+                           overwrite=tuple(sorted(rec.overwrite_pages)),
+                           **({"crash": True} if crash else {}))
+        if self.rm is not None:
+            self.rm.log_interval(self, rec)
         return rec
 
     def _record_interval(self, rec: IntervalRecord) -> bool:
@@ -429,6 +448,10 @@ class TmNode:
                                interval=interval)
             return full_page_diff(page, self.pid, interval,
                                   self.image.page(page))
+        if self.rm is not None:
+            why = self.rm.explain_missing_diff(self.pid, interval)
+            if why is not None:
+                raise RecoveryError(why)
         raise ProtocolError(
             f"P{self.pid} asked for unavailable diff page={page} "
             f"interval={interval}")
@@ -489,8 +512,13 @@ class TmNode:
             for (w, i) in needed:
                 if (w, i, p) not in self.diff_store:
                     if w == self.pid:
-                        raise ProtocolError(
-                            f"P{self.pid} lost its own diff ({w},{i},{p})")
+                        # Post-crash replay can need my own diffs (the
+                        # rebuild restocks them from the backup log);
+                        # WRITE_ALL intervals reconstruct from the
+                        # image, like the serving path.
+                        self.diff_store[(w, i, p)] = \
+                            self._get_or_make_diff(p, i)
+                        continue
                     missing.setdefault(w, []).append((p, i))
         return needed_by_page, missing
 
@@ -672,6 +700,13 @@ class TmNode:
         present locally are sent.  Other diffs cause an access miss on the
         acquirer and are faulted in."
         """
+        self._op_active = True
+        try:
+            self._complete_wsync_inner(entries, req, await_donations)
+        finally:
+            self._op_active = False
+
+    def _complete_wsync_inner(self, entries, req, await_donations) -> None:
         if (await_donations and req is not None
                 and any(e.access_type.fetches for e in entries)):
             expected = set()
@@ -827,6 +862,8 @@ class TmNode:
     # ==================================================================
 
     def lock_acquire(self, lid: int) -> None:
+        if self.rm is not None:
+            self.rm.crashpoint(self)
         self.stats.lock_acquires += 1
         if self.tel is not None:
             self.tel.proto(self.pid, "tm.lock_acquire",
@@ -843,17 +880,21 @@ class TmNode:
             self._complete_wsync(wsync)
             return
         manager = lid % self.nprocs
+        rvc = self._vc_tuple()
         size = (8 + VC_ENTRY_BYTES * self.nprocs
                 + (sreq.wire_bytes() if sreq else 0))
         if manager == self.pid:
             self._charge(self.cfg.lock_service)
-            self._route_lock_request(lid, self.pid, self._vc_tuple(), sreq)
+            self._route_lock_request(lid, self.pid, rvc, sreq)
         else:
             self.ep.send(manager, "lock_req",
-                         payload=(lid, self.pid, self._vc_tuple(), sreq),
+                         payload=(lid, self.pid, rvc, sreq),
                          size=size)
+        if self.rm is not None:
+            self._awaiting_lock = (lid, rvc, sreq)
         t0 = self.sys.engine.now
         msg = self.ep.recv(kind="lock_grant", tag=lid)
+        self._awaiting_lock = None
         self.stats.t_lock_wait += self.sys.engine.now - t0
         if self.tel is not None:
             self.tel.span(self.pid, "wait.lock", t0,
@@ -866,6 +907,8 @@ class TmNode:
         self._complete_wsync(wsync)
 
     def lock_release(self, lid: int) -> None:
+        if self.rm is not None:
+            self.rm.crashpoint(self)
         if lid not in self.lock_held:
             raise ProtocolError(f"P{self.pid} releasing unheld lock {lid}")
         if self.tel is not None:
@@ -887,6 +930,8 @@ class TmNode:
                             sreq: Optional[SyncFetchRequest]) -> None:
         tail = self.lock_tail.get(lid, lid % self.nprocs)
         self.lock_tail[lid] = requester
+        if self.rm is not None:
+            self.rm.note_route(self, lid, requester, rvc, sreq, tail)
         if tail == self.pid:
             self._give_or_queue(lid, requester, rvc, sreq)
         else:
@@ -930,6 +975,8 @@ class TmNode:
     # ==================================================================
 
     def barrier(self) -> None:
+        if self.rm is not None:
+            self.rm.crashpoint(self)
         self.stats.barriers += 1
         if self.tel is not None:
             self.tel.barrier(self.pid)   # advances the barrier epoch
@@ -957,14 +1004,17 @@ class TmNode:
             self._barrier_finish()
         else:
             recs = self._intervals_after(self.master_seen_vc)
+            avc = self._vc_tuple()
             size = (VC_ENTRY_BYTES * self.nprocs + interval_wire_bytes(recs)
                     + (sreq.wire_bytes() if sreq else 0))
             self.ep.send(self.master_pid, "barrier_arrive",
-                         payload=(self.pid, self._vc_tuple(), tuple(recs),
-                                  sreq),
+                         payload=(self.pid, avc, tuple(recs), sreq),
                          size=size)
+            if self.rm is not None:
+                self._barrier_wait = (avc, sreq)
             t0 = self.sys.engine.now
             msg = self.ep.recv(kind="barrier_depart")
+            self._barrier_wait = None
             self.stats.t_barrier_wait += self.sys.engine.now - t0
             if self.tel is not None:
                 self.tel.span(self.pid, "wait.barrier", t0,
@@ -1097,6 +1147,8 @@ class TmNode:
         exchanged intersections.  With ``asynchronous`` the receives are
         deferred to the first page fault on an expected page.
         """
+        if self.rm is not None:
+            self.rm.crashpoint(self)
         self.stats.pushes += 1
         if self.tel is not None:
             from repro.telemetry.events import pack_sections
@@ -1230,6 +1282,8 @@ class TmNode:
         self.diff_store.clear()
         for meta in self.pages:
             meta.valid = True
+        if self.rm is not None:
+            self.rm.on_gc_discard(self.pid)
 
     @staticmethod
     def _intersect_lists(writes: Sequence[Section],

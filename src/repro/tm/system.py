@@ -56,7 +56,8 @@ class TmSystem:
                  config: Optional[MachineConfig] = None,
                  gc_threshold: Optional[int] = None,
                  eager_diffing: bool = False,
-                 telemetry=None, faults=None, transport=None) -> None:
+                 telemetry=None, faults=None, transport=None,
+                 recovery_log_limit: Optional[int] = None) -> None:
         self.nprocs = nprocs
         self.layout = layout
         #: Interval-record count at which the barrier master triggers a
@@ -78,6 +79,15 @@ class TmSystem:
         self.net = Network(self.engine, self.config, nprocs,
                            telemetry=telemetry, faults=faults,
                            transport=transport)
+        #: Optional :class:`repro.recovery.RecoveryManager`; built when
+        #: the fault plan schedules node crashes.  Must exist before the
+        #: nodes: each :class:`TmNode` captures it at construction.
+        if faults is not None and getattr(faults, "crashes", ()):
+            from repro.recovery import RecoveryManager
+            self.recovery = RecoveryManager(
+                self, faults.crashes, log_limit=recovery_log_limit)
+        else:
+            self.recovery = None
         self.nodes: List[TmNode] = []
 
     def run(self, main: Callable[[TmNode], object]) -> RunResult:
@@ -103,6 +113,8 @@ class TmSystem:
         for proc in procs:
             node = TmNode(self, proc, self.net.endpoint(proc.pid))
             self.nodes.append(node)
+            if self.recovery is not None:
+                self.recovery.attach(node)
         self.engine.run()
         per_proc = [replace(n.stats) for n in self.nodes]
         if self.telemetry is not None:

@@ -7,25 +7,40 @@ the lazy-release-consistency machinery event by event: lock grants
 hopping along the requester chain, twins and diffs at write faults,
 intervals closing at releases, the barrier's notice exchange.
 
-:class:`repro.tm.trace.Tracer` is a legacy-shaped view over the unified
-telemetry event bus — ``Tracer.attach`` wires a
-:class:`repro.telemetry.Telemetry` into the system, so the same run also
-yields span profiles and Chrome-trace export through
-``system.telemetry``, and the full analyses via ``repro.inspect``.
+Everything comes off the unified :class:`repro.telemetry.Telemetry`
+event bus — pass an instance to :class:`repro.tm.system.TmSystem` and
+every protocol occurrence lands on ``telemetry.bus`` as a ``tm.*``
+event.  The same capture also yields span profiles, Chrome-trace export
+(``telemetry.write_chrome_trace``), and the full analyses via
+``repro.inspect``.
 
 Usage:  python examples/protocol_trace.py
 """
 
 from repro.memory import SharedLayout
+from repro.telemetry import Telemetry
 from repro.tm.system import TmSystem
-from repro.tm.trace import Tracer
+
+
+def render_events(telemetry, limit: int = 200) -> str:
+    """The ``tm.*`` stream as one line per event, bus order."""
+    lines = [f"{'time(us)':>12s}  proc  {'event':<16s} detail"]
+    shown = 0
+    for ev in sorted(telemetry.bus.events, key=lambda e: (e.ts, e.pid)):
+        if not ev.kind.startswith("tm.") or shown >= limit:
+            continue
+        detail = " ".join(f"{k}={v}" for k, v in (ev.args or {}).items()
+                          if k != "pages")
+        lines.append(f"{ev.ts:12.1f}  P{ev.pid}  {ev.kind:<16s} {detail}")
+        shown += 1
+    return "\n".join(lines)
 
 
 def main() -> None:
     layout = SharedLayout(page_size=256)
     layout.add_array("counter", (8,))
-    system = TmSystem(nprocs=3, layout=layout)
-    tracer = Tracer.attach(system)
+    telemetry = Telemetry()
+    system = TmSystem(nprocs=3, layout=layout, telemetry=telemetry)
 
     def worker(node):
         counter = node.array("counter")
@@ -38,12 +53,15 @@ def main() -> None:
 
     res = system.run(worker)
     print(f"final counter: {res.returns[0]} (expected 6.0)\n")
-    print(tracer.format())
-    print("\nEvent counts:", dict(sorted(tracer.counts().items())))
+    print(render_events(telemetry))
+    counts = telemetry.counts()
+    print("\nEvent counts:",
+          {k: v for k, v in sorted(counts.items())
+           if k.startswith("tm.")})
 
     # The same capture feeds the contention profiler: per-lock wait time.
     from repro.inspect import ContentionProfile
-    prof = ContentionProfile.from_telemetry(system.telemetry)
+    prof = ContentionProfile.from_telemetry(telemetry)
     for lock in prof.hot_locks():
         print(f"\nlock {lock.lid}: {lock.acquires} acquires, "
               f"{lock.grants} remote grants, "

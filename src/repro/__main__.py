@@ -55,6 +55,18 @@ def _mode_parent(opt: str = "aggr") -> argparse.ArgumentParser:
     return p
 
 
+def _protocol_parent() -> argparse.ArgumentParser:
+    """``--protocol``, for commands that run the DSM."""
+    from repro.tm.coherence import protocols
+
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--protocol", default=None,
+                   choices=sorted(protocols()),
+                   help="DSM coherence backend (default: the paper's "
+                        "mw-lrc)")
+    return p
+
+
 def _seed_parent(seed: int = 0) -> argparse.ArgumentParser:
     """``--seed``, for commands with a deterministic RNG input."""
     p = argparse.ArgumentParser(add_help=False)
@@ -99,7 +111,7 @@ def trace_main(argv) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro trace",
-        parents=[_sizing_parent(), _mode_parent()],
+        parents=[_sizing_parent(), _mode_parent(), _protocol_parent()],
         description="Run one application with telemetry enabled and "
                     "export a Chrome-trace timeline "
                     "(chrome://tracing or https://ui.perfetto.dev).")
@@ -115,7 +127,7 @@ def trace_main(argv) -> int:
     spec = RunSpec(app=args.app, mode=args.mode, dataset=args.dataset,
                    nprocs=args.nprocs, page_size=args.page_size,
                    opt=args.opt if args.mode == "dsm" else None,
-                   telemetry=True)
+                   protocol=args.protocol, telemetry=True)
     out = run(spec)
     tel = out.telemetry
     path = args.out or f"trace-{args.app}.json"
@@ -146,7 +158,7 @@ def inspect_main(argv) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro inspect",
-        parents=[_sizing_parent(), _mode_parent()],
+        parents=[_sizing_parent(), _mode_parent(), _protocol_parent()],
         description="Run one application with telemetry and print the "
                     "protocol inspection report: hot pages, "
                     "lock/barrier contention, critical path.")
@@ -165,7 +177,7 @@ def inspect_main(argv) -> int:
     spec = RunSpec(app=args.app, mode=args.mode, dataset=args.dataset,
                    nprocs=args.nprocs, page_size=args.page_size,
                    opt=args.opt if args.mode == "dsm" else None,
-                   telemetry=True)
+                   protocol=args.protocol, telemetry=True)
     rep = inspect_run(spec)
     if args.json == "-":
         print(json.dumps(rep.as_dict(args.top), indent=2))
@@ -190,13 +202,17 @@ def check_main(argv) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro check",
+        parents=[_protocol_parent()],
         description="Re-run the protocol baseline matrix and compare "
                     "counts against benchmarks/baselines/protocol.json. "
                     "Counts must match exactly; simulated time within "
-                    "a relative tolerance.")
+                    "a relative tolerance.  --protocol restricts the "
+                    "run (and any update) to one backend's entries.")
     parser.add_argument("--update-baselines", action="store_true",
                         help="rewrite the baseline file from this run "
-                             "(after an intentional protocol change)")
+                             "(after an intentional protocol change); "
+                             "with --protocol, only that backend's "
+                             "entries are rewritten")
     parser.add_argument("--baselines", default=None, metavar="PATH",
                         help="baseline JSON path (default: "
                              "benchmarks/baselines/protocol.json)")
@@ -207,7 +223,7 @@ def check_main(argv) -> int:
 
     result = baseline.check(path=args.baselines,
                             update=args.update_baselines,
-                            rtol=args.rtol)
+                            rtol=args.rtol, protocol=args.protocol)
     if result.updated:
         path = args.baselines or baseline.default_path()
         print(f"updated {path} ({len(result.measured)} entries)")
@@ -235,7 +251,7 @@ def chaos_main(argv) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro chaos",
-        parents=[_sizing_parent(), _seed_parent()],
+        parents=[_sizing_parent(), _seed_parent(), _protocol_parent()],
         description="Sweep apps x opt levels x fault intensities under "
                     "deterministic fault injection with the reliable "
                     "transport enabled.  Every faulted run must produce "
@@ -271,9 +287,11 @@ def chaos_main(argv) -> int:
                         intensities=args.intensities, seed=args.seed,
                         dataset=args.dataset, nprocs=args.nprocs,
                         page_size=args.page_size,
-                        inspect=not args.no_inspect, plan=plan)
+                        inspect=not args.no_inspect, plan=plan,
+                        protocol=args.protocol)
     payload = {"seed": args.seed, "dataset": args.dataset,
                "nprocs": args.nprocs, "page_size": args.page_size,
+               "protocol": args.protocol,
                "cases": [c.as_dict() for c in cases]}
     if args.json == "-":
         print(json.dumps(payload, indent=2))
@@ -296,7 +314,7 @@ def recover_main(argv) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro recover",
-        parents=[_sizing_parent()],
+        parents=[_sizing_parent(), _protocol_parent()],
         description="Sweep apps x opt levels x mined crash schedules "
                     "under the crash-recovery subsystem.  Every crashed "
                     "run must produce results bit-identical to the "
@@ -342,15 +360,17 @@ def recover_main(argv) -> int:
                 cases.append(recover.run_case(
                     app, opt, "plan", dataset=args.dataset,
                     nprocs=args.nprocs, page_size=args.page_size,
-                    inspect=not args.no_inspect, plan=plan))
+                    inspect=not args.no_inspect, plan=plan,
+                    protocol=args.protocol))
     else:
         cases = recover.sweep(apps=args.apps, opts=args.opts,
                               schedules=args.schedules,
                               dataset=args.dataset, nprocs=args.nprocs,
                               page_size=args.page_size,
-                              inspect=not args.no_inspect)
+                              inspect=not args.no_inspect,
+                              protocol=args.protocol)
     payload = {"dataset": args.dataset, "nprocs": args.nprocs,
-               "page_size": args.page_size,
+               "page_size": args.page_size, "protocol": args.protocol,
                "cases": [c.as_dict() for c in cases]}
     if args.json == "-":
         print(json.dumps(payload, indent=2))
@@ -374,7 +394,7 @@ def sanitize_main(argv) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro sanitize",
-        parents=[_sizing_parent()],
+        parents=[_sizing_parent(), _protocol_parent()],
         description="Run applications under the DSM sanitizer: "
                     "vector-clock race detection plus compiler-hint "
                     "soundness checking over the telemetry event "
@@ -428,7 +448,8 @@ def sanitize_main(argv) -> int:
     if args.all or not args.app:
         cases = matrix.clean_matrix(apps=apps, dataset=args.dataset,
                                     nprocs=args.nprocs,
-                                    page_size=args.page_size)
+                                    page_size=args.page_size,
+                                    protocol=args.protocol)
         emit([c.report.as_dict() for c in cases],
              matrix.render_matrix(cases))
         return 0 if all(c.ok for c in cases) else 1
@@ -440,7 +461,8 @@ def sanitize_main(argv) -> int:
         _, rep = sanitize_run(args.app, opt=args.opt,
                               dataset=args.dataset, nprocs=args.nprocs,
                               page_size=args.page_size,
-                              online=not args.offline)
+                              online=not args.offline,
+                              protocol=args.protocol)
     emit(rep.as_dict(), rep.render())
     return 0 if rep.ok else 1
 
@@ -452,29 +474,47 @@ def bench_main(argv) -> int:
     from repro.apps import all_apps
     from repro.harness import bench
 
+    from repro.tm.coherence import protocols
+
     parser = argparse.ArgumentParser(
         prog="python -m repro bench",
         parents=[_sizing_parent()],
         description="Run the full mode matrix (seq, every applicable "
                     "DSM opt level, message passing, XHPF) and report "
                     "simulated time, speedup and message counts per "
-                    "app x mode, machine-readable.")
+                    "app x mode, machine-readable.  With --protocols, "
+                    "instead compare the DSM coherence backends side "
+                    "by side (app x opt x protocol).")
     parser.add_argument("--apps", nargs="*", default=None,
                         choices=sorted(all_apps()),
                         help="applications to bench (default: all, in "
                              "the paper's order)")
+    parser.add_argument("--protocols", nargs="*", default=None,
+                        metavar="PROTO",
+                        help="compare DSM coherence backends instead "
+                             "of the mode matrix; give names "
+                             f"({', '.join(sorted(protocols()))}) or "
+                             "no argument for all registered backends")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="write the JSON payload here "
                              "('-' for stdout)")
     args = parser.parse_args(argv)
 
-    payload = bench.bench(apps=args.apps, dataset=args.dataset,
-                          nprocs=args.nprocs,
-                          page_size=args.page_size)
+    if args.protocols is not None:
+        payload = bench.bench_protocols(
+            apps=args.apps, dataset=args.dataset, nprocs=args.nprocs,
+            page_size=args.page_size,
+            protocols=args.protocols or None)
+        render = bench.render_bench_protocols
+    else:
+        payload = bench.bench(apps=args.apps, dataset=args.dataset,
+                              nprocs=args.nprocs,
+                              page_size=args.page_size)
+        render = bench.render_bench
     if args.json == "-":
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
-    print(bench.render_bench(payload))
+    print(render(payload))
     if args.json:
         bench.write_bench(payload, args.json)
         print(f"wrote {args.json}")

@@ -19,6 +19,7 @@ from repro.apps import all_apps
 from repro.harness.experiments import APP_ORDER, app_runs
 
 SCHEMA = "repro-bench/1"
+PROTOCOL_SCHEMA = "repro-bench-protocols/1"
 
 
 def _entry(mode: str, outcome, seq_time: float) -> Dict:
@@ -60,6 +61,68 @@ def bench(apps: Optional[Sequence[str]] = None, dataset: str = "tiny",
             "modes": modes,
         }
     return payload
+
+
+def bench_protocols(apps: Optional[Sequence[str]] = None,
+                    dataset: str = "tiny", nprocs: int = 4,
+                    page_size: int = 1024,
+                    protocols: Optional[Sequence[str]] = None) -> Dict:
+    """Per-backend DSM comparison: app x opt level x coherence protocol.
+
+    Runs every applicable opt level of every app under each registered
+    coherence backend (mw-lrc, hlrc, adaptive, ...) and reports the
+    three numbers a protocol study cares about — simulated time,
+    message count, data volume — side by side.
+    """
+    from repro.harness.modes import applicable_levels
+    from repro.harness.spec import RunSpec, run
+    from repro.tm.coherence import protocols as registered
+
+    specs = all_apps()
+    names = list(apps) if apps is not None else \
+        [n for n in APP_ORDER if n in specs]
+    protos = list(protocols) if protocols else sorted(registered())
+    payload: Dict = {
+        "schema": PROTOCOL_SCHEMA,
+        "dataset": dataset,
+        "nprocs": nprocs,
+        "page_size": page_size,
+        "protocols": protos,
+        "apps": {},
+    }
+    for name in names:
+        rows: List[Dict] = []
+        for opt in applicable_levels(specs[name]):
+            for proto in protos:
+                out = run(RunSpec(app=name, mode="dsm",
+                                  dataset=dataset, nprocs=nprocs,
+                                  page_size=page_size, opt=opt,
+                                  protocol=proto))
+                rows.append({
+                    "opt": opt,
+                    "protocol": proto,
+                    "time_us": round(float(out.time), 3),
+                    "messages": int(out.messages),
+                    "data_bytes": int(out.data_bytes),
+                })
+        payload["apps"][name] = {"runs": rows}
+    return payload
+
+
+def render_bench_protocols(payload: Dict) -> str:
+    from repro.harness.report import render_table
+
+    rows = []
+    for name, app in payload["apps"].items():
+        for r in app["runs"]:
+            rows.append([name, r["opt"], r["protocol"], r["time_us"],
+                         r["messages"], r["data_bytes"]])
+    return render_table(
+        f"Coherence-backend comparison (dataset={payload['dataset']}, "
+        f"nprocs={payload['nprocs']})",
+        ["app", "opt", "protocol", "time_us", "messages", "bytes"],
+        rows,
+        note="same app results bit-for-bit; only the traffic differs")
 
 
 def write_bench(payload: Dict, path: str) -> None:

@@ -103,7 +103,8 @@ def _arrays_identical(base: Dict[str, np.ndarray],
 def run_case(app: str, opt: Optional[str], intensity: str,
              seed: int = 0, dataset: str = "tiny", nprocs: int = 4,
              page_size: int = 1024, inspect: bool = True,
-             plan: Optional[FaultPlan] = None) -> ChaosCase:
+             plan: Optional[FaultPlan] = None,
+             protocol: Optional[str] = None) -> ChaosCase:
     """Run one app/opt pair fault-free and faulted; compare bit-by-bit.
 
     Pass ``plan`` to run an explicit declarative :class:`FaultPlan`
@@ -117,7 +118,7 @@ def run_case(app: str, opt: Optional[str], intensity: str,
             f"{sorted(INTENSITIES)}")
     case = ChaosCase(app=app, opt=opt, intensity=intensity, seed=seed)
     spec = RunSpec(app=app, mode="dsm", dataset=dataset, nprocs=nprocs,
-                   opt=opt, page_size=page_size)
+                   opt=opt, page_size=page_size, protocol=protocol)
     base = run(spec)
     case.base_time = base.time
     case.base_messages = base.net.messages
@@ -149,7 +150,8 @@ def sweep(apps: Optional[Sequence[str]] = None,
           intensities: Optional[Sequence[str]] = None,
           seed: int = 0, dataset: str = "tiny", nprocs: int = 4,
           page_size: int = 1024, inspect: bool = True,
-          plan: Optional[FaultPlan] = None) -> List[ChaosCase]:
+          plan: Optional[FaultPlan] = None,
+          protocol: Optional[str] = None) -> List[ChaosCase]:
     """The chaos matrix: apps x applicable opt levels x intensities.
 
     With an explicit ``plan``, each app/opt pair runs that one plan
@@ -171,7 +173,7 @@ def sweep(apps: Optional[Sequence[str]] = None,
                 cases.append(run_case(
                     app, opt, intensity, seed=seed, dataset=dataset,
                     nprocs=nprocs, page_size=page_size,
-                    inspect=inspect, plan=plan))
+                    inspect=inspect, plan=plan, protocol=protocol))
     return cases
 
 

@@ -170,7 +170,8 @@ def _arrays_identical(base: Dict[str, np.ndarray],
 def run_case(app: str, opt: Optional[str], schedule,
              base=None, dataset: str = "tiny", nprocs: int = 4,
              page_size: int = 1024, inspect: bool = True,
-             plan: Optional[FaultPlan] = None) -> RecoverCase:
+             plan: Optional[FaultPlan] = None,
+             protocol: Optional[str] = None) -> RecoverCase:
     """Run one app/opt pair fault-free and crashed; compare bit-by-bit.
 
     ``schedule`` is a :class:`Schedule` (or a name to mine from the
@@ -181,7 +182,7 @@ def run_case(app: str, opt: Optional[str], schedule,
     from repro.sanitizer.replay import _resolve
 
     spec = RunSpec(app=app, mode="dsm", dataset=dataset, nprocs=nprocs,
-                   opt=opt, page_size=page_size)
+                   opt=opt, page_size=page_size, protocol=protocol)
     if base is None:
         base = run(spec, telemetry=True)
     if isinstance(schedule, str) and plan is None:
@@ -241,8 +242,8 @@ def sweep(apps: Optional[Sequence[str]] = None,
           opts: Optional[Sequence[str]] = None,
           schedules: Optional[Sequence[str]] = None,
           dataset: str = "tiny", nprocs: int = 4,
-          page_size: int = 1024,
-          inspect: bool = True) -> List[RecoverCase]:
+          page_size: int = 1024, inspect: bool = True,
+          protocol: Optional[str] = None) -> List[RecoverCase]:
     """The recovery matrix: apps x applicable opt levels x schedules."""
     names = sorted(apps) if apps else sorted(all_apps())
     cases: List[RecoverCase] = []
@@ -252,13 +253,14 @@ def sweep(apps: Optional[Sequence[str]] = None,
             if opt not in app_opts:
                 continue
             spec = RunSpec(app=app, mode="dsm", dataset=dataset,
-                           nprocs=nprocs, opt=opt, page_size=page_size)
+                           nprocs=nprocs, opt=opt, page_size=page_size,
+                           protocol=protocol)
             base = run(spec, telemetry=True)
             for sched in mine_schedules(base, nprocs, names=schedules):
                 cases.append(run_case(
                     app, opt, sched, base=base, dataset=dataset,
                     nprocs=nprocs, page_size=page_size,
-                    inspect=inspect))
+                    inspect=inspect, protocol=protocol))
     return cases
 
 

@@ -46,7 +46,8 @@ def run_dsm(program: Program, nprocs: int,
             snapshot: bool = True,
             gc_threshold: Optional[int] = None,
             eager_diffing: bool = False,
-            telemetry=None, faults=None, transport=None) -> DsmOutcome:
+            telemetry=None, faults=None, transport=None,
+            protocol: Optional[str] = None) -> DsmOutcome:
     """Run on the (optionally compiler-optimized) TreadMarks DSM."""
     prog = transform(program, opt) if opt is not None else program
     layout = layout_for(prog, page_size=page_size)
@@ -54,7 +55,7 @@ def run_dsm(program: Program, nprocs: int,
                       gc_threshold=gc_threshold,
                       eager_diffing=eager_diffing,
                       telemetry=telemetry, faults=faults,
-                      transport=transport)
+                      transport=transport, protocol=protocol)
 
     def main(node):
         Interpreter(prog, DsmRuntime(node, prog)).run()

@@ -55,6 +55,10 @@ class RunSpec:
     snapshot: bool = True
     gc_threshold: Optional[int] = None
     eager_diffing: bool = False
+    #: Coherence backend for DSM runs: a registered protocol name
+    #: ("mw-lrc", "hlrc", "adaptive") or None for the default (the
+    #: paper's mw-lrc).  See :mod:`repro.tm.coherence`.
+    protocol: Optional[str] = None
     #: ``True`` to trace with a fresh :class:`Telemetry`, or pass an
     #: existing instance; ``False`` runs without any telemetry overhead.
     telemetry: Union[bool, Telemetry] = False
@@ -124,6 +128,14 @@ def run(spec: Union[RunSpec, str, AppSpec, Program], **overrides) -> RunOutcome:
             f"unknown mode {spec.mode!r}; expected one of {MODES}")
     tel = spec.resolve_telemetry()
 
+    if spec.protocol is not None:
+        from repro.tm.coherence import get_backend
+        get_backend(spec.protocol)   # unknown names raise ReproError
+        if spec.mode != "dsm" and spec.protocol != "mw-lrc":
+            raise ReproError(
+                f"protocol={spec.protocol!r} selects a DSM coherence "
+                f"backend; mode {spec.mode!r} does not run the DSM")
+
     if spec.mode == "seq":
         if spec.faults is not None or spec.transport:
             raise ReproError(
@@ -141,7 +153,8 @@ def run(spec: Union[RunSpec, str, AppSpec, Program], **overrides) -> RunOutcome:
                        page_size=spec.page_size, snapshot=spec.snapshot,
                        gc_threshold=spec.gc_threshold,
                        eager_diffing=spec.eager_diffing, telemetry=tel,
-                       faults=spec.faults, transport=spec.transport)
+                       faults=spec.faults, transport=spec.transport,
+                       protocol=spec.protocol)
     if spec.mode == "xhpf":
         return run_xhpf(spec.resolve_program(), nprocs=spec.nprocs,
                         config=spec.config, telemetry=tel,

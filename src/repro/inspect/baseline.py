@@ -30,6 +30,10 @@ COUNT_FIELDS = (
     "diffs_created", "diffs_applied", "diff_bytes_applied",
     "full_pages_served", "lock_acquires", "lock_local_acquires",
     "barriers", "validates", "pushes", "invalidations",
+    # Home-based backends (all zero under the default mw-lrc; older
+    # baseline files without them compare as zero).
+    "home_flushes", "home_applies", "page_fetches", "pages_served",
+    "home_migrations",
 )
 
 #: Relative tolerance for simulated time (floats only).
@@ -37,17 +41,24 @@ TIME_RTOL = 1e-6
 
 #: The CI matrix: tiny datasets, 4 processors, small pages so the tiny
 #: arrays still span multiple pages and the protocol actually works.
+#: Non-default coherence backends gate their own entries (keyed
+#: ``app/mode/opt@protocol``).
 DEFAULT_MATRIX = tuple(
     dict(app=app, mode=mode, opt=opt, dataset="tiny", nprocs=4,
-         page_size=1024)
-    for app, mode, opt in (
-        ("jacobi", "dsm", "base"),
-        ("jacobi", "dsm", "aggr"),
-        ("jacobi", "dsm", "push"),
-        ("jacobi", "mp", None),
-        ("is", "dsm", "base"),
-        ("is", "dsm", "aggr"),
-        ("is", "mp", None),
+         page_size=1024, protocol=protocol)
+    for app, mode, opt, protocol in (
+        ("jacobi", "dsm", "base", None),
+        ("jacobi", "dsm", "aggr", None),
+        ("jacobi", "dsm", "push", None),
+        ("jacobi", "mp", None, None),
+        ("is", "dsm", "base", None),
+        ("is", "dsm", "aggr", None),
+        ("is", "mp", None, None),
+        ("jacobi", "dsm", "base", "hlrc"),
+        ("jacobi", "dsm", "push", "hlrc"),
+        ("is", "dsm", "base", "hlrc"),
+        ("jacobi", "dsm", "base", "adaptive"),
+        ("is", "dsm", "base", "adaptive"),
     ))
 
 
@@ -56,10 +67,22 @@ def default_path() -> Path:
             / "benchmarks" / "baselines" / "protocol.json")
 
 
+def spec_protocol(spec: dict) -> str:
+    """The effective coherence backend of one matrix entry."""
+    return spec.get("protocol") or "mw-lrc"
+
+
+def key_protocol(key: str) -> str:
+    """The coherence backend a baseline key belongs to."""
+    return key.rsplit("@", 1)[1] if "@" in key else "mw-lrc"
+
+
 def entry_key(spec: dict) -> str:
     key = f"{spec['app']}/{spec['mode']}"
     if spec.get("opt"):
         key += f"/{spec['opt']}"
+    if spec_protocol(spec) != "mw-lrc":
+        key += f"@{spec['protocol']}"
     return key
 
 
@@ -167,18 +190,38 @@ def save(baselines: Dict[str, dict],
 
 
 def check(path: Optional[Path] = None, matrix=DEFAULT_MATRIX,
-          update: bool = False, rtol: float = TIME_RTOL) -> CheckResult:
-    """Re-measure the matrix and compare (or rewrite) the baselines."""
+          update: bool = False, rtol: float = TIME_RTOL,
+          protocol: Optional[str] = None) -> CheckResult:
+    """Re-measure the matrix and compare (or rewrite) the baselines.
+
+    ``protocol`` restricts the run to one backend's entries; an update
+    then rewrites only those, leaving the other backends' baselines
+    untouched (per-backend ``--update-baselines``).
+    """
+    if protocol is not None:
+        from repro.tm.coherence import get_backend
+        get_backend(protocol)   # unknown names raise ReproError
+        matrix = tuple(s for s in matrix
+                       if spec_protocol(s) == protocol)
     measured = collect(matrix)
     path = default_path() if path is None else Path(path)
     if update:
-        save(measured, path)
+        merged: Dict[str, dict] = {}
+        if protocol is not None and path.exists():
+            merged = {k: v for k, v in load(path).items()
+                      if key_protocol(k) != protocol}
+        merged.update(measured)
+        save(merged, path)
         return CheckResult(ok=True, measured=measured, updated=True)
     if not path.exists():
         return CheckResult(
             ok=False, measured=measured,
             problems=[f"no baselines at {path}; run "
                       "'python -m repro check --update-baselines'"])
-    problems = compare(load(path), measured, rtol)
+    expected = load(path)
+    if protocol is not None:
+        expected = {k: v for k, v in expected.items()
+                    if key_protocol(k) == protocol}
+    problems = compare(expected, measured, rtol)
     return CheckResult(ok=not problems, problems=problems,
                        measured=measured)

@@ -36,7 +36,9 @@ _EPS = 1e-9
 WAIT_MSG_KINDS: Dict[str, Tuple[str, ...]] = {
     "wait.lock": ("lock_grant",),
     "wait.barrier": ("barrier_depart", "barrier_arrive", "mp"),
-    "wait.fetch": ("diff_resp", "diff_donate", "push_data", "mp"),
+    "wait.fetch": ("diff_resp", "diff_donate", "push_data", "page_resp",
+                   "mp"),
+    "wait.flush": ("home_flush_ack",),
     "wait.push": ("push_data",),
 }
 

@@ -69,7 +69,9 @@ class InspectReport:
             for name in ("read_faults", "write_faults", "invalidations",
                          "twins_created", "diffs_created",
                          "diffs_applied", "diff_bytes_applied",
-                         "full_pages_served"):
+                         "full_pages_served", "home_flushes",
+                         "home_applies", "page_fetches", "pages_served",
+                         "home_migrations"):
                 got, want = recon[name], getattr(stats, name)
                 if got != want:
                     problems.append(
@@ -136,8 +138,10 @@ class InspectReport:
         return problems
 
     def _fetch_wait(self) -> float:
+        # Home-based backends charge their release-time flush waits to
+        # t_fetch_wait too, under the "wait.flush" span.
         return sum(s.dur for s in self.outcome.telemetry.spans.spans
-                   if s.name == "wait.fetch")
+                   if s.name in ("wait.fetch", "wait.flush"))
 
     # ------------------------------------------------------------------
     # Rendering.

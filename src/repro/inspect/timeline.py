@@ -103,6 +103,11 @@ class PageCounters:
     diffs_applied: int = 0
     diff_bytes: int = 0
     full_pages: int = 0
+    home_flushes: int = 0
+    home_applies: int = 0
+    page_fetches: int = 0
+    pages_served: int = 0
+    home_migrations: int = 0
     writers: Set[int] = field(default_factory=set)
     readers: Set[int] = field(default_factory=set)
 
@@ -113,7 +118,8 @@ class PageCounters:
     @property
     def heat(self) -> int:
         """Ranking key: protocol work attributable to this page."""
-        return self.faults + self.invalidations + self.diffs_applied
+        return (self.faults + self.invalidations + self.diffs_applied
+                + self.page_fetches + self.home_applies)
 
     def as_dict(self) -> dict:
         return {
@@ -124,6 +130,11 @@ class PageCounters:
             "diffs_applied": self.diffs_applied,
             "diff_bytes": self.diff_bytes,
             "full_pages": self.full_pages,
+            "home_flushes": self.home_flushes,
+            "home_applies": self.home_applies,
+            "page_fetches": self.page_fetches,
+            "pages_served": self.pages_served,
+            "home_migrations": self.home_migrations,
             "writers": sorted(self.writers),
             "readers": sorted(self.readers),
         }
@@ -135,6 +146,8 @@ _PAGE_KINDS = frozenset((
     "tm.diff_create", "tm.diff_apply", "tm.full_page", "tm.page_valid",
     "tm.write_enable", "tm.interval", "tm.protect_down", "tm.overwrite",
     "tm.push_expect", "tm.push_recv", "tm.gc_discard", "rec.crash",
+    "tm.home_flush", "tm.home_apply", "tm.page_fetch", "tm.page_serve",
+    "tm.home_migrate",
 ))
 
 
@@ -153,6 +166,9 @@ class PageTimelines:
         #: Processors that crashed (``rec.crash``): their untouched
         #: pages default to invalid, not the boot default.
         self._crashed: Set[int] = set()
+        #: page -> home pid, learned from the home-based protocols'
+        #: events (flushes, fetches, migrations); empty under mw-lrc.
+        self.homes: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Construction.
@@ -288,6 +304,58 @@ class PageTimelines:
                 c.writers.add(writer)
         elif kind == "tm.full_page":
             c.full_pages += 1
+        elif kind == "tm.home_flush":
+            if st.write_enabled:
+                self._flag(ev, "home flush of a still-write-enabled page")
+            home = args.get("home")
+            if home == ev.pid:
+                self._flag(ev, "home flushed a page to itself")
+            known = self.homes.setdefault(page, home)
+            if home != known:
+                self._flag(ev, f"flush addressed to P{home} but the "
+                               f"home is P{known}")
+            c.home_flushes += 1
+            c.writers.add(ev.pid)
+        elif kind == "tm.home_apply":
+            writer = args.get("writer")
+            if writer == ev.pid:
+                self._flag(ev, "home applied a flush of its own interval")
+            if not st.valid:
+                # The ordering argument (flush-ack precedes the release)
+                # means a home's own copy is never invalid when a flush
+                # lands — see repro.tm.backends.hlrc.
+                self._flag(ev, "home applied a flush to an invalid copy")
+            c.home_applies += 1
+            c.diff_bytes += args.get("bytes", 0)
+            if writer is not None:
+                c.writers.add(writer)
+        elif kind == "tm.page_fetch":
+            if st.valid and not args.get("revalidate"):
+                # A valid-but-stale copy (unapplied notices under
+                # conservative validate hints) re-fetches whole and
+                # says so; an unflagged fetch of a valid page is waste.
+                self._flag(ev, "page fetch of an already-valid page")
+            home = args.get("home")
+            known = self.homes.setdefault(page, home)
+            if home != known and ev.pid != known:
+                # (the exception: a freshly-migrated home refilling its
+                # base copy from the old home)
+                self._flag(ev, f"fetch addressed to P{home} but the "
+                               f"home is P{known}")
+            st.valid = True
+            c.page_fetches += 1
+        elif kind == "tm.page_serve":
+            if not st.valid:
+                self._flag(ev, "home served a page from an invalid copy")
+            c.pages_served += 1
+        elif kind == "tm.home_migrate":
+            frm, to = args.get("frm"), args.get("to")
+            known = self.homes.get(page)
+            if known is not None and frm != known:
+                self._flag(ev, f"migration away from P{frm} but the "
+                               f"home is P{known}")
+            self.homes[page] = to
+            c.home_migrations += 1
         elif kind == "tm.page_valid":
             st.valid = True
         elif kind == "tm.write_enable":
@@ -323,7 +391,9 @@ class PageTimelines:
         """Cluster-wide sums, reconcilable against ``TmStats``."""
         out = {"read_faults": 0, "write_faults": 0, "invalidations": 0,
                "twins_created": 0, "diffs_created": 0, "diffs_applied": 0,
-               "diff_bytes_applied": 0, "full_pages_served": 0}
+               "diff_bytes_applied": 0, "full_pages_served": 0,
+               "home_flushes": 0, "home_applies": 0, "page_fetches": 0,
+               "pages_served": 0, "home_migrations": 0}
         for c in self.counters.values():
             out["read_faults"] += c.read_faults
             out["write_faults"] += c.write_faults
@@ -333,6 +403,11 @@ class PageTimelines:
             out["diffs_applied"] += c.diffs_applied
             out["diff_bytes_applied"] += c.diff_bytes
             out["full_pages_served"] += c.full_pages
+            out["home_flushes"] += c.home_flushes
+            out["home_applies"] += c.home_applies
+            out["page_fetches"] += c.page_fetches
+            out["pages_served"] += c.pages_served
+            out["home_migrations"] += c.home_migrations
         return out
 
     def as_dict(self, top: int = 10) -> dict:
@@ -350,3 +425,41 @@ def _detail(kind: str, args: dict) -> str:
     parts = [f"{k}={v}" for k, v in args.items()
              if k not in ("page", "pages")]
     return " ".join(parts)
+
+
+def preferred_home(activity: Dict[int, Tuple[int, int]], current: int,
+                   min_activity: int = 2) -> Optional[int]:
+    """Where should a page live, given who touched it?
+
+    ``activity`` maps pid -> (writes, fetches) observed on the page
+    since the last decision point; ``current`` is its present home.
+    The policy mirrors the offline rankings above:
+
+    * a **single-writer** page flips into owner mode — the lone writer
+      becomes the home, so its releases stop shipping diffs anywhere
+      (``hot_pages`` with one writer).  One write suffices: this is
+      the classic first-write owner heuristic;
+    * otherwise the busiest processor hosts the page, but only with at
+      least ``min_activity`` touches (``multi_writer_pages`` churn
+      goes to whoever causes most of it).
+
+    Hysteresis: stay put unless the candidate beats the current home's
+    own activity.  Returns the new home pid, or None to keep
+    ``current``.  Ties break toward the lowest pid so every processor
+    computes the same plan.
+    """
+    if not activity:
+        return None
+    totals = {q: w + f for q, (w, f) in activity.items()}
+    writers = [q for q, (w, _f) in activity.items() if w > 0]
+    if len(writers) == 1:
+        cand = writers[0]
+    else:
+        cand = min(totals, key=lambda q: (-totals[q], q))
+        if totals[cand] < min_activity:
+            return None
+    if cand == current:
+        return None
+    if totals[cand] <= totals.get(current, 0):
+        return None
+    return cand

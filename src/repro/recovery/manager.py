@@ -513,8 +513,11 @@ class RecoveryManager:
                 if bw is not None and q not in node._barrier_box:
                     # Empty record tuple: the state transfer already
                     # delivered every interval record the arrival
-                    # carried, and apply_notices is idempotent.
-                    node._barrier_box[q] = (tuple(bw[0]), (), bw[1])
+                    # carried, and apply_notices is idempotent.  No
+                    # backend extra either (recovery is mw-lrc-only,
+                    # whose extras are always None).
+                    node._barrier_box[q] = (tuple(bw[0]), (), bw[1],
+                                            None)
 
     def _rebuild_locks(self, node, reports, routes_replica) -> None:
         pid, n = node.pid, node.nprocs

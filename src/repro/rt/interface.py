@@ -80,17 +80,11 @@ class AugmentedRuntime:
         pages = sorted({p for s in _as_list(sections)
                         for p in self.node.layout.pages_of(s)
                         if not self.node.pages[p].valid})
-        needed_by_page, missing = self.node._collect_missing(pages)
-        expected = self.node._send_diff_requests(missing)
-        return {"pages": pages, "needed": needed_by_page,
-                "expected": expected}
+        return self.node.coherence.begin_fetch(pages)
 
-    def Apply_diffs(self, handle: dict) -> None:
+    def Apply_diffs(self, handle) -> None:
         """Wait for a Fetch_diffs' responses and apply them."""
-        self.node._recv_diff_responses(handle["expected"])
-        for p in handle["pages"]:
-            self.node._apply_page(p, handle["needed"].get(p, []))
-            self.node.pages[p].valid = True
+        self.node.coherence.finish_fetch(handle)
 
     def Create_twins(self, sections: Sections) -> None:
         for s in _as_list(sections):

@@ -75,7 +75,8 @@ class SanitizeCase:
 def clean_matrix(apps: Optional[Sequence[str]] = None,
                  opts: Optional[Sequence[str]] = None,
                  dataset: str = "tiny", nprocs: int = 4,
-                 page_size: int = 1024) -> List[SanitizeCase]:
+                 page_size: int = 1024,
+                 protocol: Optional[str] = None) -> List[SanitizeCase]:
     """Sanitize every app at every applicable opt level."""
     from repro.apps import all_apps
     from repro.harness.modes import applicable_levels
@@ -90,7 +91,8 @@ def clean_matrix(apps: Optional[Sequence[str]] = None,
             if lvl not in levels:
                 continue
             _, rep = sanitize_run(name, opt=lvl, dataset=dataset,
-                                  nprocs=nprocs, page_size=page_size)
+                                  nprocs=nprocs, page_size=page_size,
+                                  protocol=protocol)
             cases.append(SanitizeCase(
                 app=name, opt=lvl, ok=rep.ok, races=len(rep.races),
                 hint_findings=len(rep.hint_findings),

@@ -1,0 +1,7 @@
+"""Coherence backend implementations (importing registers them)."""
+
+from repro.tm.backends.mw_lrc import MwLrcBackend
+from repro.tm.backends.hlrc import HlrcBackend
+from repro.tm.backends.adaptive import AdaptiveBackend
+
+__all__ = ["MwLrcBackend", "HlrcBackend", "AdaptiveBackend"]

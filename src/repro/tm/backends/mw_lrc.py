@@ -1,0 +1,309 @@
+"""Multiple-writer lazy release consistency (the paper's protocol).
+
+The reference backend: the TreadMarks protocol exactly as the paper
+measured it.  Diffs are created lazily at first demand, fetched
+writer-by-writer with aggregated ``diff_req``/``diff_resp`` messages,
+and donated (``diff_donate``) when a ``Validate_w_sync`` merged its
+fetch into a synchronization operation.  Every write fault twins.
+
+This module is a verbatim extraction of the data-movement half of the
+pre-refactor ``TmNode``; its message formats, cost charges and event
+emissions are byte-identical to the original engine (the protocol
+baselines and Table 2 benchmarks pin that down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.memory.section import Section
+from repro.net.message import Message
+from repro.rt.access import AccessType
+from repro.tm.coherence import CoherenceBackend, register
+from repro.tm.diffs import Diff, apply_diff, diff_payload_bytes
+
+Key = Tuple[int, int]          # (writer, interval index)
+
+
+@dataclass
+class AsyncPlan:
+    """An asynchronous Validate waiting for its first page fault."""
+
+    pages: Set[int]
+    fetch_pages: List[int]
+    needed_by_page: Dict[int, List[Key]]
+    expected: Dict[int, int]        # writer -> response tag
+    perm_sections: List[Section]
+    access_type: AccessType
+
+
+@register
+class MwLrcBackend(CoherenceBackend):
+    """TreadMarks' multiple-writer LRC data movement."""
+
+    name = "mw-lrc"
+
+    def __init__(self, node) -> None:
+        super().__init__(node)
+        self._async_plans: List[AsyncPlan] = []
+
+    def attach(self) -> None:
+        self.node.ep.on("diff_req", self._h_diff_req)
+        self.node.ep.on("diff_donate", self._h_diff_donate)
+
+    # ==================================================================
+    # Fetching (the communication side of Validate and of page faults).
+    # ==================================================================
+
+    def _collect_missing(self, pages):
+        node = self.node
+        needed_by_page: Dict[int, List[Key]] = {}
+        missing: Dict[int, List[Tuple[int, int]]] = {}
+        for p in pages:
+            needed = node._needed_notices(p)
+            if needed:
+                needed_by_page[p] = needed
+            for (w, i) in needed:
+                if (w, i, p) not in node.diff_store:
+                    if w == node.pid:
+                        # Post-crash replay can need my own diffs (the
+                        # rebuild restocks them from the backup log);
+                        # WRITE_ALL intervals reconstruct from the
+                        # image, like the serving path.
+                        node.diff_store[(w, i, p)] = \
+                            node._get_or_make_diff(p, i)
+                        continue
+                    missing.setdefault(w, []).append((p, i))
+        return needed_by_page, missing
+
+    def _send_diff_requests(self, missing) -> Dict[int, int]:
+        node = self.node
+        expected: Dict[int, int] = {}
+        for w in sorted(missing):
+            entries = missing[w]
+            node._req_seq += 1
+            tag = node._req_seq
+            node.ep.send(w, "diff_req", payload=(tuple(entries), tag),
+                         size=4 + 12 * len(entries), tag=tag)
+            expected[w] = tag
+        return expected
+
+    def _recv_diff_responses(self, expected: Dict[int, int]) -> None:
+        if not expected:
+            return
+        node = self.node
+        t0 = node.sys.engine.now
+        for w in sorted(expected):
+            msg = node.ep.recv(kind="diff_resp", src=w, tag=expected[w])
+            node._store_diffs(msg.payload)
+        node.stats.t_fetch_wait += node.sys.engine.now - t0
+        if node.tel is not None:
+            node.tel.span(node.pid, "wait.fetch", t0,
+                          node.sys.engine.now)
+
+    def fetch_pages(self, pages: Sequence[int]) -> None:
+        node = self.node
+        pages = sorted(set(pages))
+        needed_by_page, missing = self._collect_missing(pages)
+        expected = self._send_diff_requests(missing)
+        self._recv_diff_responses(expected)
+        with node._atomic():    # batch apply charges into one advance
+            for p in pages:
+                node._apply_page(p, needed_by_page.get(p, []))
+                node.pages[p].valid = True
+
+    def _h_diff_req(self, msg: Message) -> None:
+        node = self.node
+        entries, tag = msg.payload
+        with node._atomic():
+            node._charge(node.cfg.request_service)
+            diffs = [node._get_or_make_diff(p, i) for (p, i) in entries]
+            node.ep.send(msg.src, "diff_resp", payload=tuple(diffs),
+                         size=diff_payload_bytes(diffs), tag=tag)
+
+    def _h_diff_donate(self, msg: Message) -> None:
+        node = self.node
+        node._charge(node.cfg.request_service)
+        node._store_diffs(msg.payload)
+        node.proc.wake()   # a _complete_wsync may be waiting for these
+
+    # ==================================================================
+    # Split-phase fetch (Figure 4's Fetch_diffs / Apply_diffs).
+    # ==================================================================
+
+    def begin_fetch(self, pages):
+        needed_by_page, missing = self._collect_missing(pages)
+        expected = self._send_diff_requests(missing)
+        return {"pages": list(pages), "needed": needed_by_page,
+                "expected": expected}
+
+    def finish_fetch(self, handle) -> None:
+        node = self.node
+        self._recv_diff_responses(handle["expected"])
+        for p in handle["pages"]:
+            node._apply_page(p, handle["needed"].get(p, []))
+            node.pages[p].valid = True
+
+    # ==================================================================
+    # Asynchronous Validate plans.
+    # ==================================================================
+
+    def validate_async(self, fetch, pages, sections, access_type) -> bool:
+        needed_by_page, missing = self._collect_missing(fetch)
+        expected = self._send_diff_requests(missing)
+        self._async_plans.append(AsyncPlan(
+            pages=set(pages), fetch_pages=fetch,
+            needed_by_page=needed_by_page, expected=expected,
+            perm_sections=list(sections), access_type=access_type))
+        return True
+
+    def complete_async_covering(self, page: int) -> bool:
+        node = self.node
+        for i, plan in enumerate(self._async_plans):
+            if page in plan.pages:
+                del self._async_plans[i]
+                self._recv_diff_responses(plan.expected)
+                for p in plan.fetch_pages:
+                    node._apply_page(p, plan.needed_by_page.get(p, []))
+                    node.pages[p].valid = True
+                node._apply_validate_perms(plan.perm_sections,
+                                           plan.access_type)
+                return True
+        return False
+
+    def drain_async(self) -> None:
+        while self._async_plans:
+            plan = self._async_plans[0]
+            self.complete_async_covering(next(iter(plan.pages)))
+
+    # ==================================================================
+    # Validate_w_sync: sync+data merge (paper Sections 3.2.1 / 3.3).
+    # ==================================================================
+
+    def take_wsync_request(self, entries):
+        from repro.tm.node import SyncFetchRequest
+        node = self.node
+        pages = sorted({p for e in entries for s in e.sections
+                        for p in node.layout.pages_of(s)
+                        if e.access_type.fetches and not e.fallback})
+        return SyncFetchRequest(
+            node.pid, {p: node._page_marks(p) for p in pages})
+
+    def complete_wsync(self, entries, req, await_donations) -> None:
+        node = self.node
+        if (await_donations and req is not None
+                and any(e.access_type.fetches for e in entries)):
+            expected = set()
+            for p, marks in req.page_marks.items():
+                for (w, i) in node.page_notices.get(p, []):
+                    if w != node.pid and i > marks[w]:
+                        expected.add((w, i, p))
+            while not all(k in node.diff_store for k in expected):
+                missing = [k for k in expected
+                           if k not in node.diff_store]
+                node.proc.waiting_on = (
+                    f"{len(missing)} donated diffs (first: writer=P"
+                    f"{missing[0][0]} interval={missing[0][1]} "
+                    f"page={missing[0][2]})")
+                node.proc.wait()
+            node.proc.waiting_on = None
+        for e in entries:
+            if e.fallback:
+                # Adaptive fallback: a full post-sync Validate.
+                node.validate(e.sections, e.access_type,
+                              asynchronous=e.asynchronous)
+                continue
+            pages = sorted({p for s in e.sections
+                            for p in node.layout.pages_of(s)})
+            if e.access_type.fetches:
+                for p in pages:
+                    if node.pages[p].valid:
+                        continue
+                    needed = node._needed_notices(p)
+                    if all((w, i, p) in node.diff_store
+                           for (w, i) in needed):
+                        node._apply_page(p, needed)
+            node._apply_validate_perms(e.sections, e.access_type)
+
+    def collect_donation(self, sreq, own_only: bool = False) -> List[Diff]:
+        """Diffs I hold that ``sreq``'s requester is missing.
+
+        Charges the page-list scan cost even when nothing is found — this
+        is the extra overhead that makes sync+data merge a loss for large
+        page lists (IS), per Section 3.3.  With ``own_only`` (the barrier
+        path) only diffs of this processor's own intervals are donated, so
+        the requester can predict exactly which diffs will arrive.
+        """
+        node = self.node
+        node._charge(node.cfg.sync_merge_scan_per_page
+                     * len(sreq.page_marks))
+        donated: List[Diff] = []
+        for p, marks in sreq.page_marks.items():
+            for key in node.page_notices.get(p, []):
+                w, i = key
+                if own_only and w != node.pid:
+                    continue
+                if i <= marks[w]:
+                    continue    # requester already applied it
+                dkey = (w, i, p)
+                diff = node.diff_store.get(dkey)
+                if diff is None and w == node.pid:
+                    diff = node._get_or_make_diff(p, i)
+                if diff is not None:
+                    donated.append(diff)
+        return donated
+
+    def donate_for_requests(self, sreqs) -> None:
+        node = self.node
+        by_requester: Dict[int, List[Diff]] = {}
+        for sreq in sreqs:
+            if sreq.requester == node.pid:
+                continue
+            diffs = self.collect_donation(sreq, own_only=True)
+            if diffs:
+                by_requester[sreq.requester] = diffs
+        if not by_requester:
+            return
+        # Identical donations to several requesters broadcast cheaply.
+        groups: Dict[tuple, List[int]] = {}
+        for req, diffs in by_requester.items():
+            sig = tuple(sorted((d.writer, d.interval, d.page)
+                               for d in diffs))
+            groups.setdefault(sig, []).append(req)
+        for sig, requesters in groups.items():
+            diffs = by_requester[requesters[0]]
+            size = diff_payload_bytes(diffs)
+            for j, req in enumerate(sorted(requesters)):
+                cost = (None if j == 0
+                        else node.cfg.bcast_extra_per_dest)
+                node.ep.send(req, "diff_donate", payload=tuple(diffs),
+                             size=size, send_cost=cost)
+
+    # ==================================================================
+    # Offline final-state reconciliation.
+    # ==================================================================
+
+    def snapshot_arrays(self) -> dict:
+        """Take processor 0's image and apply every write notice it
+        knows about, pulling missing diffs straight out of the other
+        nodes.  Programs should end with a barrier so that processor 0
+        knows all intervals."""
+        from repro.memory.layout import MemoryImage
+        node0 = self.node
+        system = node0.sys
+        image = MemoryImage(system.layout)
+        image.buf[:] = node0.image.buf
+        for page in range(system.layout.npages):
+            needed = node0._needed_notices(page)
+            recs = sorted((node0.intervals[k] for k in needed),
+                          key=lambda r: r.order_key())
+            for rec in recs:
+                diff = node0.diff_store.get(
+                    (rec.writer, rec.index, page))
+                if diff is None:
+                    diff = system.nodes[rec.writer]._get_or_make_diff(
+                        page, rec.index)
+                apply_diff(diff, image.page(page))
+        return {name: image.view(name).copy()
+                for name in system.layout.arrays}

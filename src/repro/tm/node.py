@@ -7,20 +7,29 @@ notices, diffs) and the synchronization client/manager logic.  It also
 implements the paper's augmented run-time interface: :meth:`validate`,
 :meth:`validate_w_sync` and :meth:`push`.
 
+The *data movement* half of the protocol — where a faulting processor
+gets page contents, what a release does with an interval's
+modifications, whether a page is twinned — lives in a pluggable
+:class:`~repro.tm.coherence.CoherenceBackend` (``node.coherence``); see
+:mod:`repro.tm.backends` for the registered protocols.
+
 Protocol message kinds
 ----------------------
 
 ========================  =====================================================
-``diff_req``              request diffs for (page, writer, interval) entries
-``diff_resp``             aggregated diffs, one message per responder
 ``lock_req``              lock acquire sent to the manager (carries vc)
 ``lock_fwd``              manager forwards the request to the last requester
 ``lock_grant``            token + write notices (+ piggy-backed diffs)
-``barrier_arrive``        client vc + fresh write notices (+ sync fetch reqs)
-``barrier_depart``        master's merged notices (+ forwarded fetch reqs)
-``diff_donate``           unsolicited diffs sent to a ``Validate_w_sync`` caller
+``barrier_arrive``        client vc + fresh write notices (+ sync fetch reqs
+                          + the backend's piggy-backed ``extra``)
+``barrier_depart``        master's merged notices (+ forwarded fetch reqs
+                          + the backend's global ``plan``)
 ``push_data``             raw section bytes exchanged by ``Push``
 ========================  =====================================================
+
+Backend-owned kinds: ``diff_req``/``diff_resp``/``diff_donate``
+(mw-lrc), ``home_flush``/``home_flush_ack``/``page_req``/``page_resp``
+(hlrc, adaptive).
 """
 
 from __future__ import annotations
@@ -65,18 +74,6 @@ class SyncFetchRequest:
         nwriters = len(next(iter(self.page_marks.values()), ()))
         return 4 + len(self.page_marks) * (PAGE_ID_BYTES
                                            + VC_ENTRY_BYTES * nwriters)
-
-
-@dataclass
-class AsyncPlan:
-    """An asynchronous Validate waiting for its first page fault."""
-
-    pages: Set[int]
-    fetch_pages: List[int]
-    needed_by_page: Dict[int, List[Key]]
-    expected: Dict[int, int]        # writer -> response tag
-    perm_sections: List[Section]
-    access_type: AccessType
 
 
 @dataclass
@@ -174,18 +171,19 @@ class TmNode:
 
         # --- compiler-driven machinery ----------------------------------
         self._wsync_queue: List[_WsyncEntry] = []
-        self._async_plans: List[AsyncPlan] = []
         self._async_push_plans: List[AsyncPushPlan] = []
         self._req_seq = 0
         self._push_round = 0
 
-        endpoint.on("diff_req", self._h_diff_req)
+        #: The data-movement policy (mw-lrc / hlrc / adaptive).
+        self.coherence = system.backend_cls(self)
+
         endpoint.on("lock_req", self._h_lock_req)
         endpoint.on("lock_fwd", self._h_lock_fwd)
-        endpoint.on("diff_donate", self._h_diff_donate)
         if self.pid == self.master_pid:
             endpoint.on("barrier_arrive", self._h_barrier_arrive,
                         interrupt=False)
+        self.coherence.attach()
 
     # ==================================================================
     # Small helpers.
@@ -317,6 +315,9 @@ class TmNode:
                            **({"crash": True} if crash else {}))
         if self.rm is not None:
             self.rm.log_interval(self, rec)
+        # Release-time lowering (e.g. hlrc's synchronous diff flush to
+        # the page homes).  Outside the atomic section: it may block.
+        self.coherence.on_interval_end(rec)
         return rec
 
     def _record_interval(self, rec: IntervalRecord) -> bool:
@@ -499,76 +500,6 @@ class TmNode:
             self.tel.event(self.pid, "tm.page_valid", page=page)
 
     # ==================================================================
-    # Fetching (the communication side of Validate and of page faults).
-    # ==================================================================
-
-    def _collect_missing(self, pages: Iterable[int]):
-        needed_by_page: Dict[int, List[Key]] = {}
-        missing: Dict[int, List[Tuple[int, int]]] = {}
-        for p in pages:
-            needed = self._needed_notices(p)
-            if needed:
-                needed_by_page[p] = needed
-            for (w, i) in needed:
-                if (w, i, p) not in self.diff_store:
-                    if w == self.pid:
-                        # Post-crash replay can need my own diffs (the
-                        # rebuild restocks them from the backup log);
-                        # WRITE_ALL intervals reconstruct from the
-                        # image, like the serving path.
-                        self.diff_store[(w, i, p)] = \
-                            self._get_or_make_diff(p, i)
-                        continue
-                    missing.setdefault(w, []).append((p, i))
-        return needed_by_page, missing
-
-    def _send_diff_requests(self, missing) -> Dict[int, int]:
-        expected: Dict[int, int] = {}
-        for w in sorted(missing):
-            entries = missing[w]
-            self._req_seq += 1
-            tag = self._req_seq
-            self.ep.send(w, "diff_req", payload=(tuple(entries), tag),
-                         size=4 + 12 * len(entries), tag=tag)
-            expected[w] = tag
-        return expected
-
-    def _recv_diff_responses(self, expected: Dict[int, int]) -> None:
-        if not expected:
-            return
-        t0 = self.sys.engine.now
-        for w in sorted(expected):
-            msg = self.ep.recv(kind="diff_resp", src=w, tag=expected[w])
-            self._store_diffs(msg.payload)
-        self.stats.t_fetch_wait += self.sys.engine.now - t0
-        if self.tel is not None:
-            self.tel.span(self.pid, "wait.fetch", t0,
-                          self.sys.engine.now)
-
-    def _fetch_and_apply(self, pages: Sequence[int]) -> None:
-        pages = sorted(set(pages))
-        needed_by_page, missing = self._collect_missing(pages)
-        expected = self._send_diff_requests(missing)
-        self._recv_diff_responses(expected)
-        with self._atomic():    # batch apply charges into one advance
-            for p in pages:
-                self._apply_page(p, needed_by_page.get(p, []))
-                self.pages[p].valid = True
-
-    def _h_diff_req(self, msg: Message) -> None:
-        entries, tag = msg.payload
-        with self._atomic():
-            self._charge(self.cfg.request_service)
-            diffs = [self._get_or_make_diff(p, i) for (p, i) in entries]
-            self.ep.send(msg.src, "diff_resp", payload=tuple(diffs),
-                         size=diff_payload_bytes(diffs), tag=tag)
-
-    def _h_diff_donate(self, msg: Message) -> None:
-        self._charge(self.cfg.request_service)
-        self._store_diffs(msg.payload)
-        self.proc.wake()   # a _complete_wsync may be waiting for these
-
-    # ==================================================================
     # Page faults (the base TreadMarks access-detection path).
     # ==================================================================
 
@@ -583,7 +514,7 @@ class TmNode:
                                "tm.read_faults", page=p)
             self._charge(self.cfg.protect_cost(p))
             if not self._complete_async_covering(p):
-                self._fetch_and_apply([p])
+                self.coherence.fetch_pages([p])
 
     def ensure_write(self, pages: Iterable[int]) -> None:
         """Make every page writable, faulting/twinning as needed."""
@@ -599,7 +530,7 @@ class TmNode:
             if self._complete_async_covering(p) and meta.write_enabled:
                 continue
             if not meta.valid:
-                self._fetch_and_apply([p])
+                self.coherence.fetch_pages([p])
             self._enable_with_twin(p)
 
     # ==================================================================
@@ -624,15 +555,11 @@ class TmNode:
         else:
             fetch = []
         if asynchronous and fetch:
-            needed_by_page, missing = self._collect_missing(fetch)
-            expected = self._send_diff_requests(missing)
-            self._async_plans.append(AsyncPlan(
-                pages=set(pages), fetch_pages=fetch,
-                needed_by_page=needed_by_page, expected=expected,
-                perm_sections=list(sections), access_type=access_type))
-            return
+            if self.coherence.validate_async(fetch, pages, sections,
+                                             access_type):
+                return
         if fetch:
-            self._fetch_and_apply(fetch)
+            self.coherence.fetch_pages(fetch)
         self._apply_validate_perms(sections, access_type)
 
     def validate_w_sync(self, sections: Sequence[Section],
@@ -680,12 +607,7 @@ class TmNode:
             return None, []
         entries = self._wsync_queue
         self._wsync_queue = []
-        pages = sorted({p for e in entries for s in e.sections
-                        for p in self.layout.pages_of(s)
-                        if e.access_type.fetches and not e.fallback})
-        req = SyncFetchRequest(
-            self.pid, {p: self._page_marks(p) for p in pages})
-        return req, entries
+        return self.coherence.take_wsync_request(entries), entries
 
     def _complete_wsync(self, entries: List[_WsyncEntry],
                         req: Optional[SyncFetchRequest] = None,
@@ -702,44 +624,9 @@ class TmNode:
         """
         self._op_active = True
         try:
-            self._complete_wsync_inner(entries, req, await_donations)
+            self.coherence.complete_wsync(entries, req, await_donations)
         finally:
             self._op_active = False
-
-    def _complete_wsync_inner(self, entries, req, await_donations) -> None:
-        if (await_donations and req is not None
-                and any(e.access_type.fetches for e in entries)):
-            expected = set()
-            for p, marks in req.page_marks.items():
-                for (w, i) in self.page_notices.get(p, []):
-                    if w != self.pid and i > marks[w]:
-                        expected.add((w, i, p))
-            while not all(k in self.diff_store for k in expected):
-                missing = [k for k in expected
-                           if k not in self.diff_store]
-                self.proc.waiting_on = (
-                    f"{len(missing)} donated diffs (first: writer=P"
-                    f"{missing[0][0]} interval={missing[0][1]} "
-                    f"page={missing[0][2]})")
-                self.proc.wait()
-            self.proc.waiting_on = None
-        for e in entries:
-            if e.fallback:
-                # Adaptive fallback: a full post-sync Validate.
-                self.validate(e.sections, e.access_type,
-                              asynchronous=e.asynchronous)
-                continue
-            pages = sorted({p for s in e.sections
-                            for p in self.layout.pages_of(s)})
-            if e.access_type.fetches:
-                for p in pages:
-                    if self.pages[p].valid:
-                        continue
-                    needed = self._needed_notices(p)
-                    if all((w, i, p) in self.diff_store
-                           for (w, i) in needed):
-                        self._apply_page(p, needed)
-            self._apply_validate_perms(e.sections, e.access_type)
 
     def _apply_validate_perms(self, sections: Sequence[Section],
                               access_type: AccessType) -> None:
@@ -807,14 +694,16 @@ class TmNode:
             return
         if not (meta.dirty and (meta.twin is not None or meta.overwrite)):
             self._flush_undiffed(page)
-            meta.twin = self.image.page(page).copy()
-            self.stats.t_twin += self.cfg.twin_cost
-            self._charge(self.cfg.twin_cost)
-            self.stats.twins_created += 1
-            if self.tel is not None:
-                self.tel.proto(self.pid, "tm.twin", "tm.twins_created",
-                               page=page)
-                self.tel.cpu(self.pid, "cpu.twin", self.cfg.twin_cost)
+            if self.coherence.wants_twin(page):
+                meta.twin = self.image.page(page).copy()
+                self.stats.t_twin += self.cfg.twin_cost
+                self._charge(self.cfg.twin_cost)
+                self.stats.twins_created += 1
+                if self.tel is not None:
+                    self.tel.proto(self.pid, "tm.twin",
+                                   "tm.twins_created", page=page)
+                    self.tel.cpu(self.pid, "cpu.twin",
+                                 self.cfg.twin_cost)
         if not batched:
             self._charge_protect(page)
         meta.write_enabled = True
@@ -834,9 +723,7 @@ class TmNode:
         while self._async_push_plans:
             plan = self._async_push_plans[0]
             self._complete_async_covering(next(iter(plan.pages)))
-        while self._async_plans:
-            plan = self._async_plans[0]
-            self._complete_async_covering(next(iter(plan.pages)))
+        self.coherence.drain_async()
 
     def _complete_async_covering(self, page: int) -> bool:
         """Finish the asynchronous Validate/Push covering ``page``."""
@@ -845,17 +732,7 @@ class TmNode:
                 del self._async_push_plans[i]
                 self._receive_push(plan.senders, plan.round_tag)
                 return True
-        for i, plan in enumerate(self._async_plans):
-            if page in plan.pages:
-                del self._async_plans[i]
-                self._recv_diff_responses(plan.expected)
-                for p in plan.fetch_pages:
-                    self._apply_page(p, plan.needed_by_page.get(p, []))
-                    self.pages[p].valid = True
-                self._apply_validate_perms(plan.perm_sections,
-                                           plan.access_type)
-                return True
-        return False
+        return self.coherence.complete_async_covering(page)
 
     # ==================================================================
     # Locks (distributed queue with manager forwarding).
@@ -962,7 +839,7 @@ class TmNode:
         recs = self._intervals_after(rvc)
         donated: List[Diff] = []
         if sreq is not None:
-            donated = self._collect_donation(sreq)
+            donated = self.coherence.collect_donation(sreq)
         size = (VC_ENTRY_BYTES * self.nprocs + interval_wire_bytes(recs)
                 + diff_payload_bytes(donated))
         self.ep.send(requester, "lock_grant",
@@ -986,8 +863,10 @@ class TmNode:
         if self.nprocs == 1:
             self._complete_wsync(wsync)
             return
+        extra = self.coherence.barrier_extra()
         if self.pid == self.master_pid:
-            self._barrier_box[self.pid] = (self._vc_tuple(), (), sreq)
+            self._barrier_box[self.pid] = (self._vc_tuple(), (), sreq,
+                                           extra)
             t0 = self.sys.engine.now
             while len(self._barrier_box) < self.nprocs:
                 absent = sorted(set(range(self.nprocs))
@@ -1006,9 +885,11 @@ class TmNode:
             recs = self._intervals_after(self.master_seen_vc)
             avc = self._vc_tuple()
             size = (VC_ENTRY_BYTES * self.nprocs + interval_wire_bytes(recs)
-                    + (sreq.wire_bytes() if sreq else 0))
+                    + (sreq.wire_bytes() if sreq else 0)
+                    + self.coherence.barrier_extra_bytes(extra))
             self.ep.send(self.master_pid, "barrier_arrive",
-                         payload=(self.pid, avc, tuple(recs), sreq),
+                         payload=(self.pid, avc, tuple(recs), sreq,
+                                  extra),
                          size=size)
             if self.rm is not None:
                 self._barrier_wait = (avc, sreq)
@@ -1019,10 +900,12 @@ class TmNode:
             if self.tel is not None:
                 self.tel.span(self.pid, "wait.barrier", t0,
                               self.sys.engine.now)
-            master_vc, recs, sreqs, gc_now = msg.payload
+            master_vc, recs, sreqs, gc_now, plan = msg.payload
             self.apply_notices(recs, master_vc)
             self.master_seen_vc = list(master_vc)
-            self._donate_for_requests(sreqs)
+            self.coherence.donate_for_requests(sreqs)
+            if plan is not None:
+                self.coherence.apply_barrier_plan(plan)
             if gc_now:
                 self._gc_validate()
                 self.ep.send(self.master_pid, "gc_done", size=0)
@@ -1031,9 +914,9 @@ class TmNode:
         self._complete_wsync(wsync, sreq, await_donations=True)
 
     def _h_barrier_arrive(self, msg: Message) -> None:
-        pid, vc, recs, sreq = msg.payload
+        pid, vc, recs, sreq, extra = msg.payload
         self._charge(self.cfg.barrier_arrival_service)
-        self._barrier_box[pid] = (vc, recs, sreq)
+        self._barrier_box[pid] = (vc, recs, sreq, extra)
         if len(self._barrier_box) == self.nprocs:
             self.proc.wake()
 
@@ -1043,10 +926,12 @@ class TmNode:
         for q in sorted(box):
             if q == self.pid:
                 continue
-            qvc, recs, _ = box[q]
+            qvc, recs, _, _ = box[q]
             self.apply_notices(recs, qvc)
         sreqs = tuple(entry[2] for _, entry in sorted(box.items())
                       if entry[2] is not None)
+        plan = self.coherence.barrier_plan(
+            {q: entry[3] for q, entry in box.items()})
         gc_now = (self.gc_threshold is not None
                   and len(self.intervals) >= self.gc_threshold)
         for q in sorted(box):
@@ -1056,12 +941,15 @@ class TmNode:
             recs = self._intervals_after(qvc)
             size = (VC_ENTRY_BYTES * self.nprocs
                     + interval_wire_bytes(recs)
-                    + sum(r.wire_bytes() for r in sreqs))
+                    + sum(r.wire_bytes() for r in sreqs)
+                    + self.coherence.barrier_plan_bytes(plan))
             self.ep.send(q, "barrier_depart",
                          payload=(self._vc_tuple(), tuple(recs), sreqs,
-                                  gc_now),
+                                  gc_now, plan),
                          size=size)
-        self._donate_for_requests(sreqs)
+        self.coherence.donate_for_requests(sreqs)
+        if plan is not None:
+            self.coherence.apply_barrier_plan(plan)
         if gc_now:
             # Two-phase collection: nobody discards until everyone has
             # validated (a discarded diff could otherwise still be
@@ -1074,63 +962,6 @@ class TmNode:
                 if q != self.pid:
                     self.ep.send(q, "gc_discard", size=0)
             self._gc_discard()
-
-    # ==================================================================
-    # Sync+data merge: diff donation (paper Sections 3.2.1 / 3.3).
-    # ==================================================================
-
-    def _collect_donation(self, sreq: SyncFetchRequest,
-                          own_only: bool = False) -> List[Diff]:
-        """Diffs I hold that ``sreq``'s requester is missing.
-
-        Charges the page-list scan cost even when nothing is found — this
-        is the extra overhead that makes sync+data merge a loss for large
-        page lists (IS), per Section 3.3.  With ``own_only`` (the barrier
-        path) only diffs of this processor's own intervals are donated, so
-        the requester can predict exactly which diffs will arrive.
-        """
-        self._charge(self.cfg.sync_merge_scan_per_page
-                     * len(sreq.page_marks))
-        donated: List[Diff] = []
-        for p, marks in sreq.page_marks.items():
-            for key in self.page_notices.get(p, []):
-                w, i = key
-                if own_only and w != self.pid:
-                    continue
-                if i <= marks[w]:
-                    continue    # requester already applied it
-                dkey = (w, i, p)
-                diff = self.diff_store.get(dkey)
-                if diff is None and w == self.pid:
-                    diff = self._get_or_make_diff(p, i)
-                if diff is not None:
-                    donated.append(diff)
-        return donated
-
-    def _donate_for_requests(self, sreqs) -> None:
-        by_requester: Dict[int, List[Diff]] = {}
-        for sreq in sreqs:
-            if sreq.requester == self.pid:
-                continue
-            diffs = self._collect_donation(sreq, own_only=True)
-            if diffs:
-                by_requester[sreq.requester] = diffs
-        if not by_requester:
-            return
-        # Identical donations to several requesters broadcast cheaply.
-        groups: Dict[tuple, List[int]] = {}
-        for req, diffs in by_requester.items():
-            sig = tuple(sorted((d.writer, d.interval, d.page)
-                               for d in diffs))
-            groups.setdefault(sig, []).append(req)
-        for sig, requesters in groups.items():
-            diffs = by_requester[requesters[0]]
-            size = diff_payload_bytes(diffs)
-            for j, req in enumerate(sorted(requesters)):
-                cost = (None if j == 0
-                        else self.cfg.bcast_extra_per_dest)
-                self.ep.send(req, "diff_donate", payload=tuple(diffs),
-                             size=size, send_cost=cost)
 
     # ==================================================================
     # Push (paper Section 3.1.2).
@@ -1262,7 +1093,7 @@ class TmNode:
         stale = [p for p in range(self.layout.npages)
                  if not self.pages[p].valid and self._needed_notices(p)]
         if stale:
-            self._fetch_and_apply(stale)
+            self.coherence.fetch_pages(stale)
 
     def _gc_discard(self) -> None:
         """GC phase 2: drop all protocol history (after the rendezvous:
@@ -1282,6 +1113,7 @@ class TmNode:
         self.diff_store.clear()
         for meta in self.pages:
             meta.valid = True
+        self.coherence.on_gc_discard()
         if self.rm is not None:
             self.rm.on_gc_discard(self.pid)
 

@@ -24,6 +24,18 @@ class TmStats:
     pushes: int = 0
     invalidations: int = 0
 
+    # --- home-based protocols (hlrc / adaptive; zero under mw-lrc) ----
+    #: Diffs flushed to a page's home at interval close.
+    home_flushes: int = 0
+    #: Flushed diffs applied at the home.
+    home_applies: int = 0
+    #: Whole pages fetched from a home on fault / Validate.
+    page_fetches: int = 0
+    #: Whole pages served by this node as home.
+    pages_served: int = 0
+    #: Home migrations decided at barriers (master counts them).
+    home_migrations: int = 0
+
     # --- simulated-time breakdown (microseconds) ----------------------
     #: Application compute charged through the runtime.
     t_compute: float = 0.0

@@ -19,12 +19,13 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, List, Optional
 
+from repro.errors import ReproError
 from repro.machine.config import MachineConfig
-from repro.memory.layout import MemoryImage, SharedLayout
-from repro.tm.diffs import apply_diff
+from repro.memory.layout import SharedLayout
 from repro.net.network import Network
 from repro.net.stats import NetStats
 from repro.sim.engine import Engine
+from repro.tm.coherence import get_backend
 from repro.tm.node import TmNode
 from repro.tm.sharedarray import SharedArray
 from repro.tm.stats import TmStats
@@ -57,9 +58,14 @@ class TmSystem:
                  gc_threshold: Optional[int] = None,
                  eager_diffing: bool = False,
                  telemetry=None, faults=None, transport=None,
-                 recovery_log_limit: Optional[int] = None) -> None:
+                 recovery_log_limit: Optional[int] = None,
+                 protocol: Optional[str] = None) -> None:
         self.nprocs = nprocs
         self.layout = layout
+        #: Coherence backend class (``protocol=`` selects it by name;
+        #: None means the default, the paper's mw-lrc).
+        self.backend_cls = get_backend(protocol)
+        self.protocol = self.backend_cls.name
         #: Interval-record count at which the barrier master triggers a
         #: garbage-collection round (None: never — fine for short runs).
         self.gc_threshold = gc_threshold
@@ -83,6 +89,11 @@ class TmSystem:
         #: the fault plan schedules node crashes.  Must exist before the
         #: nodes: each :class:`TmNode` captures it at construction.
         if faults is not None and getattr(faults, "crashes", ()):
+            if self.protocol != "mw-lrc":
+                raise ReproError(
+                    "crash recovery supports only protocol='mw-lrc' "
+                    f"(backup logging replays its diff protocol), not "
+                    f"{self.protocol!r}")
             from repro.recovery import RecoveryManager
             self.recovery = RecoveryManager(
                 self, faults.crashes, log_limit=recovery_log_limit)
@@ -130,31 +141,16 @@ class TmSystem:
     def snapshot(self) -> dict:
         """Reconcile the final global state of every shared array.
 
-        Runs *offline* (no simulated time or statistics): takes processor
-        0's image and applies every write notice it knows about, pulling
-        missing diffs straight out of the other nodes.  Programs should
-        end with a barrier so that processor 0 knows all intervals.
+        Runs *offline* (no simulated time or statistics); the coherence
+        backend defines how the authoritative bytes are assembled
+        (mw-lrc replays processor 0's notices; hlrc reads the homes).
+        Programs should end with a barrier so the state is settled.
         """
-        node0 = self.nodes[0]
         for node in self.nodes:
             node.offline = True
             node.tel = None     # offline work must not count or trace
         try:
-            image = MemoryImage(self.layout)
-            image.buf[:] = node0.image.buf
-            for page in range(self.layout.npages):
-                needed = node0._needed_notices(page)
-                recs = sorted((node0.intervals[k] for k in needed),
-                              key=lambda r: r.order_key())
-                for rec in recs:
-                    diff = node0.diff_store.get(
-                        (rec.writer, rec.index, page))
-                    if diff is None:
-                        diff = self.nodes[rec.writer]._get_or_make_diff(
-                            page, rec.index)
-                    apply_diff(diff, image.page(page))
-            return {name: image.view(name).copy()
-                    for name in self.layout.arrays}
+            return self.nodes[0].coherence.snapshot_arrays()
         finally:
             for node in self.nodes:
                 node.offline = False

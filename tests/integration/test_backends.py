@@ -1,0 +1,115 @@
+"""Backend conformance: every coherence backend computes the same thing.
+
+Parametrized over the backend registry, so a newly registered protocol
+is automatically held to the same bar: bit-identical application
+results against the sequential run, a clean sanitizer, and an
+inspector whose reconstruction reconciles with the protocol's own
+counters — including on the paper's 8-processor configuration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import all_apps
+from repro.harness import RunSpec, run
+from repro.tm.coherence import protocols
+
+BACKENDS = sorted(protocols())
+APPS = all_apps()
+
+#: One representative per opt level across apps, kept small enough for
+#: CI: the full 6-app x 5-opt matrix runs in the baseline/bench gates.
+MATRIX = [
+    ("jacobi", "base"),
+    ("is", "aggr"),
+    ("mgs", "aggr+cons"),
+    ("shallow", "merge"),
+    ("fft3d", "push"),
+]
+
+
+def check(app_name, arrays):
+    """The repo's result contract: each app's check_arrays vs reference."""
+    app = APPS[app_name]
+    ref = app.reference(dict(app.datasets["tiny"].params))
+    for name in app.check_arrays:
+        np.testing.assert_allclose(
+            arrays[name], ref[name], rtol=1e-9, atol=1e-12,
+            err_msg=f"{app_name}: array {name!r} diverges")
+
+
+def test_registry_lists_all_backends():
+    assert {"mw-lrc", "hlrc", "adaptive"} <= set(BACKENDS)
+
+
+@pytest.mark.parametrize("protocol", BACKENDS)
+@pytest.mark.parametrize("app,opt", MATRIX)
+def test_results_match_reference(app, opt, protocol):
+    out = run(RunSpec(app=app, mode="dsm", dataset="tiny", nprocs=4,
+                      opt=opt, page_size=1024, protocol=protocol))
+    check(app, out.arrays)
+
+
+@pytest.mark.parametrize("protocol", BACKENDS)
+def test_eight_procs_paper_config(protocol):
+    """The paper's 8-processor runs hold under every backend."""
+    for app in ("jacobi", "is"):
+        out = run(RunSpec(app=app, mode="dsm", dataset="tiny",
+                          nprocs=8, opt="base", page_size=1024,
+                          protocol=protocol))
+        check(app, out.arrays)
+
+
+@pytest.mark.parametrize("protocol", BACKENDS)
+@pytest.mark.parametrize("app,opt", [("jacobi", "base"), ("is", "aggr"),
+                                     ("mgs", "aggr")])
+def test_inspector_reconciles(app, opt, protocol):
+    from repro.inspect import InspectReport
+
+    out = run(RunSpec(app=app, mode="dsm", dataset="tiny", nprocs=4,
+                      opt=opt, page_size=1024, protocol=protocol,
+                      telemetry=True))
+    rep = InspectReport.build(out, title=f"{app}@{protocol}")
+    assert rep.timelines.violations == []
+    assert rep.reconcile() == []
+
+
+@pytest.mark.parametrize("protocol", BACKENDS)
+@pytest.mark.parametrize("app,opt", [("jacobi", "aggr+cons"),
+                                     ("is", "aggr")])
+def test_sanitizer_clean(app, opt, protocol):
+    from repro.sanitizer.replay import sanitize_run
+
+    _, rep = sanitize_run(app, opt=opt, protocol=protocol)
+    assert rep.ok, [f"[{f.category}:{f.kind}] {f.detail}"
+                    for f in rep.findings]
+
+
+def test_mw_lrc_and_home_backends_differ_only_in_traffic():
+    """Same answers, different message economy (IS is multi-writer
+    heavy: hlrc's home flushes beat mw-lrc's per-reader diff serving)."""
+    mw = run(RunSpec(app="is", mode="dsm", dataset="tiny", nprocs=4,
+                     opt="base", page_size=1024, protocol="mw-lrc"))
+    hl = run(RunSpec(app="is", mode="dsm", dataset="tiny", nprocs=4,
+                     opt="base", page_size=1024, protocol="hlrc"))
+    for name in mw.arrays:
+        assert np.array_equal(mw.arrays[name], hl.arrays[name])
+    assert hl.messages < mw.messages
+    assert hl.stats.home_flushes > 0
+    assert hl.stats.page_fetches > 0
+    assert mw.stats.home_flushes == 0
+    assert mw.stats.page_fetches == 0
+
+
+def test_adaptive_migrates_and_saves_flushes():
+    """Jacobi's pages are single-writer: adaptive flips them to owner
+    mode and the flush traffic collapses versus static hlrc."""
+    hl = run(RunSpec(app="jacobi", mode="dsm", dataset="tiny", nprocs=4,
+                     opt="base", page_size=1024, protocol="hlrc"))
+    ad = run(RunSpec(app="jacobi", mode="dsm", dataset="tiny", nprocs=4,
+                     opt="base", page_size=1024, protocol="adaptive"))
+    for name in hl.arrays:
+        assert np.array_equal(hl.arrays[name], ad.arrays[name])
+    assert ad.stats.home_migrations > 0
+    assert ad.stats.home_flushes < hl.stats.home_flushes
+    assert ad.messages < hl.messages

@@ -1,18 +1,31 @@
-"""Tests for the optional protocol tracer."""
+"""Protocol event tracing through the unified telemetry bus.
+
+The deprecated ``repro.tm.trace.Tracer`` shim is gone; these tests
+cover the same ground against the one remaining tracing path: pass a
+:class:`repro.telemetry.Telemetry` to :class:`TmSystem` and read the
+``tm.*`` events off ``telemetry.bus``.
+"""
 
 from repro.memory import Section, SharedLayout
 from repro.rt import AccessType
+from repro.telemetry import Telemetry
 from repro.tm.system import TmSystem
-from repro.tm.trace import Tracer
 
 
 def traced_run(main, nprocs=2):
     layout = SharedLayout(page_size=256)
     layout.add_array("x", (64,))
-    system = TmSystem(nprocs=nprocs, layout=layout)
-    tracer = Tracer.attach(system)
+    tel = Telemetry()
+    system = TmSystem(nprocs=nprocs, layout=layout, telemetry=tel)
     res = system.run(main)
-    return res, tracer
+    return res, tel
+
+
+def tm_events(tel, kind=None, pid=None):
+    return [ev for ev in tel.bus.events
+            if ev.kind.startswith("tm.")
+            and (kind is None or ev.kind == kind)
+            and (pid is None or ev.pid == pid)]
 
 
 def test_records_barriers_and_intervals():
@@ -22,11 +35,11 @@ def test_records_barriers_and_intervals():
             x[0:8] = 1.0
         node.barrier()
 
-    res, tracer = traced_run(main)
-    counts = tracer.counts()
+    res, tel = traced_run(main)
+    counts = tel.counts()
     # One explicit + one exit barrier per processor.
-    assert counts["barrier"] == 4
-    assert counts["interval"] >= 1
+    assert counts["tm.barrier"] == 4
+    assert counts["tm.interval"] >= 1
 
 
 def test_records_locks_and_grants():
@@ -37,11 +50,13 @@ def test_records_locks_and_grants():
         node.lock_release(1)
         node.barrier()
 
-    res, tracer = traced_run(main)
-    counts = tracer.counts()
-    assert counts["lock_acquire"] == 2
-    assert counts["lock_release"] == 2
-    assert counts.get("lock_grant", 0) >= 1
+    res, tel = traced_run(main)
+    counts = tel.counts()
+    assert counts["tm.lock_acquire"] == 2
+    assert counts["tm.lock_release"] == 2
+    assert counts.get("tm.lock_grant", 0) >= 1
+    grants = tm_events(tel, kind="tm.lock_grant")
+    assert all(ev.args["lid"] == 1 for ev in grants)
 
 
 def test_records_validates():
@@ -50,11 +65,13 @@ def test_records_validates():
         node.validate([Section.of("x", (0, 31))], AccessType.READ)
         node.barrier()
 
-    res, tracer = traced_run(main)
-    assert tracer.counts()["validate"] == 2
+    res, tel = traced_run(main)
+    validates = tm_events(tel, kind="tm.validate")
+    assert len(validates) == 2
+    assert all(not ev.args.get("w_sync") for ev in validates)
 
 
-def test_filter_and_format():
+def test_filter_and_order():
     def main(node):
         x = node.array("x")
         if node.pid == 0:
@@ -63,13 +80,13 @@ def test_filter_and_format():
         _ = x[0:8]
         node.barrier()
 
-    res, tracer = traced_run(main)
-    only_p1 = tracer.filter(pid=1)
-    assert only_p1 and all(e.pid == 1 for e in only_p1)
-    text = tracer.format(kinds={"barrier"})
-    assert "barrier" in text
-    times = [e.time for e in tracer.filter()]
+    res, tel = traced_run(main)
+    only_p1 = tm_events(tel, pid=1)
+    assert only_p1 and all(ev.pid == 1 for ev in only_p1)
+    events = sorted(tm_events(tel), key=lambda e: (e.ts, e.pid))
+    times = [ev.ts for ev in events]
     assert times == sorted(times)
+    assert any(ev.kind == "tm.barrier" for ev in events)
 
 
 def test_untraced_system_unaffected():
@@ -80,5 +97,5 @@ def test_untraced_system_unaffected():
     def main(node):
         node.barrier()
 
-    res = system.run(main)   # no tracer attached: plain run
+    res = system.run(main)   # no telemetry: plain run
     assert res.time > 0

@@ -13,6 +13,8 @@ Usage::
     python -m repro sanitize jacobi --opt push
     python -m repro sanitize --all
     python -m repro bench --json BENCH_pr4.json
+    python -m repro perf --check --baseline benchmarks/perf/BENCH_pr7.json
+    python -m repro report jacobi --html report.html
 """
 
 from __future__ import annotations
@@ -74,6 +76,23 @@ def _seed_parent(seed: int = 0) -> argparse.ArgumentParser:
                    help="RNG seed (same seed = same schedule)")
     return p
 
+
+def _progress_parent() -> argparse.ArgumentParser:
+    """``--progress``, the live run-monitor heartbeat on stderr."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--progress", action="store_true",
+                   help="print a live heartbeat (simulated time, "
+                        "events/sec, ETA) to stderr while running")
+    return p
+
+
+def _monitor(args):
+    """A bound-ready RunMonitor when ``--progress`` was given."""
+    if not getattr(args, "progress", False):
+        return None
+    from repro.observe import RunMonitor
+    return RunMonitor()
+
 ARTIFACTS = {
     "table1": (lambda args: ex.table1(dataset=args.dataset),
                report.render_table1),
@@ -111,7 +130,8 @@ def trace_main(argv) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro trace",
-        parents=[_sizing_parent(), _mode_parent(), _protocol_parent()],
+        parents=[_sizing_parent(), _mode_parent(), _protocol_parent(),
+                 _progress_parent()],
         description="Run one application with telemetry enabled and "
                     "export a Chrome-trace timeline "
                     "(chrome://tracing or https://ui.perfetto.dev).")
@@ -122,12 +142,16 @@ def trace_main(argv) -> int:
                              "(default: trace-<app>.json)")
     parser.add_argument("--jsonl", default=None,
                         help="also write a JSONL event log here")
+    parser.add_argument("--profile", action="store_true",
+                        help="wall-clock profile the run and print the "
+                             "host-time attribution table")
     args = parser.parse_args(argv)
 
     spec = RunSpec(app=args.app, mode=args.mode, dataset=args.dataset,
                    nprocs=args.nprocs, page_size=args.page_size,
                    opt=args.opt if args.mode == "dsm" else None,
-                   protocol=args.protocol, telemetry=True)
+                   protocol=args.protocol, telemetry=True,
+                   profile=args.profile, monitor=_monitor(args))
     out = run(spec)
     tel = out.telemetry
     path = args.out or f"trace-{args.app}.json"
@@ -145,6 +169,9 @@ def trace_main(argv) -> int:
           f"{len(tel.spans)} spans)")
     if args.jsonl:
         print(f"wrote {args.jsonl}")
+    if out.profile is not None:
+        print()
+        print(out.profile.render())
     return 0
 
 
@@ -289,10 +316,11 @@ def chaos_main(argv) -> int:
                         page_size=args.page_size,
                         inspect=not args.no_inspect, plan=plan,
                         protocol=args.protocol)
-    payload = {"seed": args.seed, "dataset": args.dataset,
-               "nprocs": args.nprocs, "page_size": args.page_size,
-               "protocol": args.protocol,
-               "cases": [c.as_dict() for c in cases]}
+    from repro.harness.schema import envelope
+    payload = envelope("chaos", seed=args.seed, dataset=args.dataset,
+                       nprocs=args.nprocs, page_size=args.page_size,
+                       protocol=args.protocol,
+                       cases=[c.as_dict() for c in cases])
     if args.json == "-":
         print(json.dumps(payload, indent=2))
     else:
@@ -369,9 +397,11 @@ def recover_main(argv) -> int:
                               page_size=args.page_size,
                               inspect=not args.no_inspect,
                               protocol=args.protocol)
-    payload = {"dataset": args.dataset, "nprocs": args.nprocs,
-               "page_size": args.page_size, "protocol": args.protocol,
-               "cases": [c.as_dict() for c in cases]}
+    from repro.harness.schema import envelope
+    payload = envelope("recover", dataset=args.dataset,
+                       nprocs=args.nprocs, page_size=args.page_size,
+                       protocol=args.protocol,
+                       cases=[c.as_dict() for c in cases])
     if args.json == "-":
         print(json.dumps(payload, indent=2))
     else:
@@ -424,6 +454,8 @@ def sanitize_main(argv) -> int:
                              "('-' for stdout)")
     args = parser.parse_args(argv)
 
+    from repro.harness.schema import envelope
+
     def emit(payload, text) -> None:
         if args.json == "-":
             print(json.dumps(payload, indent=2))
@@ -435,6 +467,11 @@ def sanitize_main(argv) -> int:
                 fh.write("\n")
             print(f"wrote {args.json}")
 
+    def wrap(**results) -> dict:
+        return envelope("sanitize", dataset=args.dataset,
+                        nprocs=args.nprocs, page_size=args.page_size,
+                        **results)
+
     apps = [args.app] if args.app else None
     if args.corpus:
         corpus = matrix.build_corpus(apps=apps, dataset=args.dataset,
@@ -443,14 +480,15 @@ def sanitize_main(argv) -> int:
         matrix.run_corpus(corpus, dataset=args.dataset,
                           nprocs=args.nprocs,
                           page_size=args.page_size)
-        emit([e.__dict__ for e in corpus], matrix.render_corpus(corpus))
+        emit(wrap(corpus=[e.__dict__ for e in corpus]),
+             matrix.render_corpus(corpus))
         return 0 if all(e.detected for e in corpus) else 1
     if args.all or not args.app:
         cases = matrix.clean_matrix(apps=apps, dataset=args.dataset,
                                     nprocs=args.nprocs,
                                     page_size=args.page_size,
                                     protocol=args.protocol)
-        emit([c.report.as_dict() for c in cases],
+        emit(wrap(cases=[c.report.as_dict() for c in cases]),
              matrix.render_matrix(cases))
         return 0 if all(c.ok for c in cases) else 1
     if args.replay:
@@ -463,7 +501,7 @@ def sanitize_main(argv) -> int:
                               page_size=args.page_size,
                               online=not args.offline,
                               protocol=args.protocol)
-    emit(rep.as_dict(), rep.render())
+    emit(wrap(report=rep.as_dict()), rep.render())
     return 0 if rep.ok else 1
 
 
@@ -521,10 +559,134 @@ def bench_main(argv) -> int:
     return 0
 
 
+def perf_main(argv) -> int:
+    """``python -m repro perf``: wall-clock engine benchmark + gate."""
+    import json
+
+    from repro.apps import all_apps
+    from repro.observe import history
+    from repro.observe.perf import perf_suite, render_perf
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro perf",
+        parents=[_sizing_parent(), _progress_parent()],
+        description="Benchmark the simulation engine itself: wall-clock "
+                    "events/sec, accesses/sec and per-subsystem time "
+                    "attribution per app.  Deterministic counters are "
+                    "gated exactly against the committed baseline; "
+                    "wall-clock rates get a noise-tolerance band "
+                    "(docs/observability.md#wall-clock-observatory).")
+    parser.add_argument("--apps", nargs="*", default=None,
+                        choices=sorted(all_apps()),
+                        help="applications to benchmark (default: all)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="profiled runs per app; fastest wins")
+    parser.add_argument("--no-telemetry-overhead", action="store_true",
+                        help="skip the extra traced run measuring the "
+                             "telemetry stack's own wall-time cost")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the JSON payload here "
+                             "('-' for stdout)")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="perf baseline to gate against (default: "
+                             "benchmarks/perf/BENCH_pr7.json when "
+                             "--check/--update-baseline is given)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the baseline; exit "
+                             "non-zero on regression")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from this run")
+    parser.add_argument("--tolerance", type=float,
+                        default=history.DEFAULT_TOLERANCE,
+                        help="allowed fractional wall-clock-rate drop "
+                             "before --check fails (deterministic "
+                             "counters always compare exactly)")
+    parser.add_argument("--record", action="store_true",
+                        help="append this run to the perf history")
+    parser.add_argument("--history", default="benchmarks/perf/"
+                        "history.jsonl", metavar="PATH",
+                        help="perf history JSONL path")
+    args = parser.parse_args(argv)
+
+    payload = perf_suite(apps=args.apps, dataset=args.dataset,
+                         nprocs=args.nprocs, page_size=args.page_size,
+                         repeats=args.repeats,
+                         measure_telemetry=not args.no_telemetry_overhead,
+                         progress=args.progress)
+    if args.json == "-":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_perf(payload))
+        if args.json:
+            history.write_baseline(payload, args.json)
+            print(f"wrote {args.json}")
+    if args.record:
+        history.append_history(payload, args.history)
+        print(f"recorded in {args.history}")
+    baseline_path = args.baseline or "benchmarks/perf/BENCH_pr7.json"
+    if args.update_baseline:
+        history.write_baseline(payload, baseline_path)
+        print(f"updated {baseline_path}")
+        return 0
+    if args.check:
+        result = history.compare(payload,
+                                 history.load_baseline(baseline_path),
+                                 tolerance=args.tolerance)
+        print(result.render())
+        return 0 if result.ok else 1
+    return 0
+
+
+def report_main(argv) -> int:
+    """``python -m repro report``: self-contained HTML run report."""
+    from repro.apps import all_apps
+    from repro.harness import RunSpec, run
+    from repro.inspect import InspectReport
+    from repro.observe.htmlreport import write_html
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro report",
+        parents=[_sizing_parent(), _mode_parent(), _protocol_parent(),
+                 _progress_parent()],
+        description="Run one application traced AND wall-clock "
+                    "profiled, then write a single self-contained HTML "
+                    "file: summary tiles, critical-path tiling, "
+                    "wall-clock attribution, contention profile, and "
+                    "hot-page timelines.  No external assets; opens "
+                    "offline.")
+    parser.add_argument("app", choices=sorted(all_apps()),
+                        help="application to report on")
+    parser.add_argument("--html", default=None, metavar="PATH",
+                        help="output path (default: report-<app>.html)")
+    args = parser.parse_args(argv)
+
+    profiled = args.mode != "seq"
+    spec = RunSpec(app=args.app, mode=args.mode, dataset=args.dataset,
+                   nprocs=args.nprocs, page_size=args.page_size,
+                   opt=args.opt if args.mode == "dsm" else None,
+                   protocol=args.protocol, telemetry=True,
+                   profile=profiled,
+                   monitor=_monitor(args) if profiled else None)
+    out = run(spec)
+    title = (f"{args.app} [{args.mode}] dataset={args.dataset} "
+             f"nprocs={args.nprocs}")
+    rep = InspectReport.build(out, title=title)
+    path = args.html or f"report-{args.app}.html"
+    write_html(path, rep, profile=out.profile, title=title)
+    problems = rep.reconcile()
+    print(f"wrote {path} (t={out.time:.1f}us, "
+          f"{len(out.telemetry.bus)} events"
+          + (f", {out.profile.events_per_sec():,.0f} ev/s"
+             if out.profile is not None else "")
+          + f", {len(problems)} reconciliation problems)")
+    return 0 if not problems else 1
+
+
 SUBCOMMANDS = {"trace": trace_main, "inspect": inspect_main,
                "check": check_main, "chaos": chaos_main,
                "recover": recover_main, "sanitize": sanitize_main,
-               "bench": bench_main}
+               "bench": bench_main, "perf": perf_main,
+               "report": report_main}
 
 
 def main(argv=None) -> int:
@@ -540,7 +702,9 @@ def main(argv=None) -> int:
                     "robustness sweep), recover (crash-recovery "
                     "sweep), sanitize (race + hint-soundness "
                     "checking), bench (machine-readable benchmark "
-                    "summary); see 'python -m repro <sub> -h'.")
+                    "summary), perf (wall-clock engine benchmark + "
+                    "regression gate), report (self-contained HTML "
+                    "run report); see 'python -m repro <sub> -h'.")
     parser.add_argument("artifacts", nargs="+",
                         choices=sorted(ARTIFACTS) + ["all"],
                         help="which tables/figures to regenerate")

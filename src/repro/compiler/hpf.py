@@ -100,6 +100,9 @@ class XhpfRuntime(BaseRuntime):
         super().__init__(program, pid=comm.pid, nprocs=comm.nprocs)
         self.comm = comm
         self.plan = plan
+        #: Wall-clock profiler (``None`` when unobserved); the
+        #: interpreter picks it up for its statements/sec counter.
+        self.prof = comm.ep.net.profiler
         for d in program.shared_arrays():
             self._shared_cache[d.name] = LocalAccessor(_alloc(d))
         #: Deterministically mirrored write log: per writer, entries of
@@ -267,11 +270,13 @@ class XhpfRuntime(BaseRuntime):
 
 def lower_xhpf(program: Program, nprocs: int,
                config: Optional[MachineConfig] = None,
-               telemetry=None, faults=None, transport=None) -> XhpfResult:
+               telemetry=None, faults=None, transport=None,
+               profile=None, monitor=None) -> XhpfResult:
     """Compile and run the XHPF version of ``program``."""
     plan = compile_xhpf(program)
     system = MpSystem(nprocs=nprocs, config=config, telemetry=telemetry,
-                      faults=faults, transport=transport)
+                      faults=faults, transport=transport,
+                      profile=profile, monitor=monitor)
     runtimes: Dict[int, XhpfRuntime] = {}
 
     def main(comm):

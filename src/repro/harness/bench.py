@@ -17,9 +17,10 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.apps import all_apps
 from repro.harness.experiments import APP_ORDER, app_runs
+from repro.harness.schema import envelope, schema_id
 
-SCHEMA = "repro-bench/1"
-PROTOCOL_SCHEMA = "repro-bench-protocols/1"
+SCHEMA = schema_id("bench")
+PROTOCOL_SCHEMA = schema_id("bench-protocols")
 
 
 def _entry(mode: str, outcome, seq_time: float) -> Dict:
@@ -38,13 +39,13 @@ def bench(apps: Optional[Sequence[str]] = None, dataset: str = "tiny",
     specs = all_apps()
     names = list(apps) if apps is not None else \
         [n for n in APP_ORDER if n in specs]
-    payload: Dict = {
-        "schema": SCHEMA,
-        "dataset": dataset,
-        "nprocs": nprocs,
-        "page_size": page_size,
-        "apps": {},
-    }
+    payload: Dict = envelope(
+        "bench",
+        dataset=dataset,
+        nprocs=nprocs,
+        page_size=page_size,
+        apps={},
+    )
     for name in names:
         runs = app_runs(specs[name], dataset=dataset, nprocs=nprocs,
                         page_size=page_size)
@@ -82,14 +83,14 @@ def bench_protocols(apps: Optional[Sequence[str]] = None,
     names = list(apps) if apps is not None else \
         [n for n in APP_ORDER if n in specs]
     protos = list(protocols) if protocols else sorted(registered())
-    payload: Dict = {
-        "schema": PROTOCOL_SCHEMA,
-        "dataset": dataset,
-        "nprocs": nprocs,
-        "page_size": page_size,
-        "protocols": protos,
-        "apps": {},
-    }
+    payload: Dict = envelope(
+        "bench-protocols",
+        dataset=dataset,
+        nprocs=nprocs,
+        page_size=page_size,
+        protocols=protos,
+        apps={},
+    )
     for name in names:
         rows: List[Dict] = []
         for opt in applicable_levels(specs[name]):

@@ -50,6 +50,11 @@ class RunOutcome:
     stats = None
     #: Telemetry handle when the run was traced.
     telemetry = None
+    #: :class:`repro.observe.WallProfiler` when the run was wall-clock
+    #: profiled (``RunSpec(profile=True)``), else ``None``.  Attached by
+    #: the runner, not a dataclass field, to keep the legacy
+    #: constructors unchanged.
+    profile = None
 
     @property
     def messages(self) -> int:

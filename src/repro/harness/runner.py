@@ -47,7 +47,8 @@ def run_dsm(program: Program, nprocs: int,
             gc_threshold: Optional[int] = None,
             eager_diffing: bool = False,
             telemetry=None, faults=None, transport=None,
-            protocol: Optional[str] = None) -> DsmOutcome:
+            protocol: Optional[str] = None,
+            profile=None, monitor=None) -> DsmOutcome:
     """Run on the (optionally compiler-optimized) TreadMarks DSM."""
     prog = transform(program, opt) if opt is not None else program
     layout = layout_for(prog, page_size=page_size)
@@ -55,34 +56,45 @@ def run_dsm(program: Program, nprocs: int,
                       gc_threshold=gc_threshold,
                       eager_diffing=eager_diffing,
                       telemetry=telemetry, faults=faults,
-                      transport=transport, protocol=protocol)
+                      transport=transport, protocol=protocol,
+                      profile=profile, monitor=monitor)
 
     def main(node):
         Interpreter(prog, DsmRuntime(node, prog)).run()
 
     result = system.run(main)
     arrays = system.snapshot() if snapshot else {}
-    return DsmOutcome(run=result, arrays=arrays, program=prog,
-                      telemetry=telemetry)
+    out = DsmOutcome(run=result, arrays=arrays, program=prog,
+                     telemetry=telemetry)
+    out.profile = profile
+    return out
 
 
 def run_mp(app, params: Dict[str, int], nprocs: int,
            config: Optional[MachineConfig] = None,
-           telemetry=None, faults=None, transport=None) -> MpOutcome:
+           telemetry=None, faults=None, transport=None,
+           profile=None, monitor=None) -> MpOutcome:
     """Run the hand-coded message-passing (PVMe) version."""
     system = MpSystem(nprocs=nprocs, config=config, telemetry=telemetry,
-                      faults=faults, transport=transport)
+                      faults=faults, transport=transport,
+                      profile=profile, monitor=monitor)
     result = system.run(lambda comm: app.mp_main(comm, dict(params)))
     arrays = {}
     if app.assemble_mp is not None:
         arrays = app.assemble_mp(result.returns, dict(params))
-    return MpOutcome(run=result, arrays=arrays, telemetry=telemetry)
+    out = MpOutcome(run=result, arrays=arrays, telemetry=telemetry)
+    out.profile = profile
+    return out
 
 
 def run_xhpf(program: Program, nprocs: int,
              config: Optional[MachineConfig] = None,
-             telemetry=None, faults=None, transport=None) -> XhpfOutcome:
+             telemetry=None, faults=None, transport=None,
+             profile=None, monitor=None) -> XhpfOutcome:
     """Run the XHPF-like compiler-generated message-passing version."""
     from repro.compiler.hpf import lower_xhpf
-    return lower_xhpf(program, nprocs, config=config, telemetry=telemetry,
-                      faults=faults, transport=transport)
+    out = lower_xhpf(program, nprocs, config=config, telemetry=telemetry,
+                     faults=faults, transport=transport,
+                     profile=profile, monitor=monitor)
+    out.profile = profile
+    return out

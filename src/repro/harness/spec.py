@@ -71,6 +71,15 @@ class RunSpec:
     #: plan is set), ``True`` forces the default
     #: :class:`repro.net.TransportConfig`, or pass an explicit config.
     transport: Union[None, bool, "TransportConfig"] = None
+    #: Wall-clock observatory: ``True`` profiles with a fresh
+    #: :class:`repro.observe.WallProfiler` (find it on
+    #: ``outcome.profile``), or pass an existing instance; ``False``
+    #: keeps every scope down to one attribute test.  Not valid for
+    #: ``seq`` runs (no engine to instrument).
+    profile: Union[bool, object] = False
+    #: Optional :class:`repro.observe.RunMonitor` heartbeat (progress /
+    #: ETA).  Like ``profile``, needs an engine — not valid for ``seq``.
+    monitor: Optional[object] = None
 
     # ------------------------------------------------------------------
 
@@ -116,6 +125,14 @@ class RunSpec:
             return None
         return self.telemetry
 
+    def resolve_profile(self):
+        if self.profile is True:
+            from repro.observe import WallProfiler
+            return WallProfiler()
+        if self.profile is False or self.profile is None:
+            return None
+        return self.profile
+
 
 def run(spec: Union[RunSpec, str, AppSpec, Program], **overrides) -> RunOutcome:
     """Run per ``spec``; keyword arguments override/extend its fields."""
@@ -127,6 +144,7 @@ def run(spec: Union[RunSpec, str, AppSpec, Program], **overrides) -> RunOutcome:
         raise ReproError(
             f"unknown mode {spec.mode!r}; expected one of {MODES}")
     tel = spec.resolve_telemetry()
+    prof = spec.resolve_profile()
 
     if spec.protocol is not None:
         from repro.tm.coherence import get_backend
@@ -140,6 +158,10 @@ def run(spec: Union[RunSpec, str, AppSpec, Program], **overrides) -> RunOutcome:
         if spec.faults is not None or spec.transport:
             raise ReproError(
                 "mode 'seq' has no network: faults/transport do not apply")
+        if prof is not None or spec.monitor is not None:
+            raise ReproError(
+                "mode 'seq' has no simulation engine: profile/monitor "
+                "do not apply")
         return run_seq(spec.resolve_program(), telemetry=tel)
     if spec.faults is not None and getattr(spec.faults, "crashes", ()) \
             and spec.mode != "dsm":
@@ -154,11 +176,13 @@ def run(spec: Union[RunSpec, str, AppSpec, Program], **overrides) -> RunOutcome:
                        gc_threshold=spec.gc_threshold,
                        eager_diffing=spec.eager_diffing, telemetry=tel,
                        faults=spec.faults, transport=spec.transport,
-                       protocol=spec.protocol)
+                       protocol=spec.protocol, profile=prof,
+                       monitor=spec.monitor)
     if spec.mode == "xhpf":
         return run_xhpf(spec.resolve_program(), nprocs=spec.nprocs,
                         config=spec.config, telemetry=tel,
-                        faults=spec.faults, transport=spec.transport)
+                        faults=spec.faults, transport=spec.transport,
+                        profile=prof, monitor=spec.monitor)
     # mp: needs the hand-coded main from the AppSpec.
     app = spec.resolve_app()
     if app is None:
@@ -166,4 +190,5 @@ def run(spec: Union[RunSpec, str, AppSpec, Program], **overrides) -> RunOutcome:
                          "not a raw Program")
     return run_mp(app, spec.resolve_params(), nprocs=spec.nprocs,
                   config=spec.config, telemetry=tel,
-                  faults=spec.faults, transport=spec.transport)
+                  faults=spec.faults, transport=spec.transport,
+                  profile=prof, monitor=spec.monitor)

@@ -56,6 +56,9 @@ class Interpreter:
         #: Statement currently executing (used by the XHPF runtime to
         #: identify which barrier site it is at).
         self.current_stmt: Optional[Stmt] = None
+        #: Wall-clock profiler (``None`` when unobserved): counts
+        #: interpreted statements for the throughput report.
+        self.prof = getattr(runtime, "prof", None)
 
     # ------------------------------------------------------------------
 
@@ -69,6 +72,8 @@ class Interpreter:
 
     def exec(self, s: Stmt) -> None:
         self.current_stmt = s
+        if self.prof is not None:
+            self.prof.n_stmts += 1
         if isinstance(s, Assign):
             self._exec_scalar_assign(s)
         elif isinstance(s, Loop):

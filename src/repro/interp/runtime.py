@@ -142,6 +142,9 @@ class DsmRuntime(BaseRuntime):
     def __init__(self, node, program: Program) -> None:
         super().__init__(program, pid=node.pid, nprocs=node.nprocs)
         self.node = node
+        #: Wall-clock profiler (``None`` when unobserved); picked up by
+        #: the interpreter for its statements/sec counter.
+        self.prof = node.prof
 
     def _make_shared(self, name: str):
         return self.node.array(name)

@@ -28,6 +28,7 @@ upper layers exactly-once, in-order-per-channel delivery.  Without it
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.errors import ReceiveTimeout, SimulationError
@@ -187,6 +188,10 @@ class Network:
         #: Optional :class:`repro.telemetry.Telemetry` mirroring the
         #: ``NetStats`` accounting as live metrics + timeline events.
         self.telemetry = telemetry
+        #: Optional :class:`repro.observe.WallProfiler`, captured from
+        #: the engine (systems bind it before building the network).
+        #: Used to leaf-time interrupt-handler servicing.
+        self.profiler = engine.profiler
         self._endpoints: Dict[int, Endpoint] = {}
         #: Optional :class:`repro.faults.FaultInjector` realizing a
         #: :class:`~repro.faults.FaultPlan` on this fabric.
@@ -242,12 +247,25 @@ class Network:
         ep = self._endpoints.get(msg.dst)
         if ep is None:
             raise SimulationError(f"message to unattached pid {msg.dst}")
+        prof = self.profiler
+        if prof is not None:
+            prof.n_messages += 1
         entry = ep.handlers.get(msg.kind)
         if entry is not None:
             handler, interrupt = entry
             if interrupt:
                 ep.proc.steal_cpu(self.config.interrupt_cost)
-            handler(msg)
+            if prof is None:
+                handler(msg)
+            else:
+                # Handlers never block (engine contract), so a leaf
+                # scope is safe; subtract nested leaves (diff work
+                # inside the handler) to keep attribution exclusive.
+                t0 = perf_counter()
+                leaf0 = prof.leaf_s
+                handler(msg)
+                dt = perf_counter() - t0
+                prof.leaf("tm.serve", dt - (prof.leaf_s - leaf0))
         else:
             ep.mailbox.append(msg)
             ep.proc.wake()

@@ -1,0 +1,30 @@
+"""Wall-clock performance observatory.
+
+Everything else in this repository measures *simulated* microseconds;
+this package measures how long the simulator itself takes on the host.
+It is layered beside — never inside — the simulated-time telemetry:
+
+* :class:`~repro.observe.profiler.WallProfiler` — cheap perf-counter
+  scopes threaded through the engine, the tm backends, the network and
+  the interpreter; reports events/sec, accesses/sec and per-subsystem
+  wall-time attribution.
+* :class:`~repro.observe.monitor.RunMonitor` — a live heartbeat for
+  long runs (``--progress``): simulated-time rate, throughput, ETA.
+* :mod:`repro.observe.perf` — the ``python -m repro perf`` harness:
+  runs the engine benchmark, records history, gates regressions.
+* :mod:`repro.observe.history` — the JSONL perf-history store under
+  ``benchmarks/perf/`` and the baseline comparison policy.
+* :mod:`repro.observe.htmlreport` — the self-contained HTML run report
+  (``python -m repro report --html``).
+
+The observatory is provably side-effect-free with respect to simulated
+results: it only ever reads ``time.perf_counter`` and increments its
+own counters, so an observed run is bit-identical to an unobserved one
+(asserted across every coherence backend in
+``tests/integration/test_observe_determinism.py``).
+"""
+
+from repro.observe.monitor import RunMonitor
+from repro.observe.profiler import WallProfiler
+
+__all__ = ["WallProfiler", "RunMonitor"]

@@ -1,0 +1,153 @@
+"""The ``python -m repro perf`` harness: engine throughput benchmark.
+
+Runs a set of applications on the DSM under the wall-clock observatory
+and assembles one versioned payload per sweep:
+
+* **Deterministic counts** per app — simulated time, engine events,
+  shared-array accesses, messages, interpreted statements.  Identical
+  on every machine; the regression gate requires an exact match.
+* **Wall-clock rates** — events/sec and accesses/sec, best of
+  ``repeats`` runs (the minimum-noise estimator for a throughput
+  benchmark), plus the per-subsystem wall-time attribution of the best
+  run.
+* **Telemetry overhead** — the observatory measures the telemetry
+  stack itself: each app runs once more with the event bus on, and the
+  payload reports the wall-time delta against the untraced run.
+
+See :mod:`repro.observe.history` for how payloads are recorded and
+gated against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.harness.schema import envelope
+
+#: Default app sweep (every registered app, canonical paper order).
+DEFAULT_APPS = ("jacobi", "fft3d", "is", "shallow", "gauss", "mgs")
+
+
+def perf_run(app: str, dataset: str = "tiny", nprocs: int = 4,
+             page_size: int = 1024, opt: Optional[str] = None,
+             protocol: Optional[str] = None, repeats: int = 3,
+             measure_telemetry: bool = True,
+             progress: bool = False) -> Dict:
+    """Benchmark one app; returns its per-app payload entry.
+
+    ``repeats`` profiled runs are taken and the fastest wins; the
+    deterministic counters must agree across all of them (they are
+    functions of the simulation — disagreement means the observatory
+    perturbed the run, which is a bug worth failing loudly on).
+    """
+    from repro.harness.spec import RunSpec, run
+    from repro.observe.monitor import RunMonitor
+
+    if repeats < 1:
+        raise ReproError(f"repeats must be >= 1, got {repeats}")
+    spec = RunSpec(app=app, mode="dsm", dataset=dataset, nprocs=nprocs,
+                   page_size=page_size, opt=opt, protocol=protocol,
+                   snapshot=False)
+    best = None
+    counts = None
+    expected_us = None
+    for _ in range(repeats):
+        monitor = None
+        if progress:
+            monitor = RunMonitor(expected_us=expected_us)
+        out = run(spec, profile=True, monitor=monitor)
+        prof = out.profile
+        expected_us = out.time
+        got = (round(float(out.time), 3), prof.n_events,
+               prof.n_accesses, out.messages, prof.n_stmts)
+        if counts is None:
+            counts = got
+        elif got != counts:
+            raise ReproError(
+                f"{app}: deterministic counters drifted across "
+                f"repeats: {got} != {counts}")
+        if best is None or prof.run_s < best.run_s:
+            best = prof
+    entry = {
+        "sim_time_us": counts[0],
+        "events": counts[1],
+        "accesses": counts[2],
+        "messages": counts[3],
+        "stmts": counts[4],
+        "wall_s": round(best.run_s, 6),
+        "events_per_sec": round(best.events_per_sec(), 1),
+        "accesses_per_sec": round(best.accesses_per_sec(), 1),
+        "attribution_pct": best.as_dict()["attribution_pct"],
+    }
+    if measure_telemetry:
+        entry["telemetry_overhead_pct"] = _telemetry_overhead(
+            spec, best.run_s)
+    return entry
+
+
+def _telemetry_overhead(spec, plain_s: float) -> float:
+    """Wall-time cost of the event bus, as a percent of the untraced
+    run (the observatory measuring the other observer)."""
+    from repro.harness.spec import run
+
+    out = run(spec, telemetry=True, profile=True)
+    traced_s = out.profile.run_s
+    if plain_s <= 0:
+        return 0.0
+    return round(100.0 * (traced_s - plain_s) / plain_s, 1)
+
+
+def perf_suite(apps: Optional[Sequence[str]] = None,
+               dataset: str = "tiny", nprocs: int = 4,
+               page_size: int = 1024, repeats: int = 3,
+               measure_telemetry: bool = True,
+               progress: bool = False) -> Dict:
+    """The full perf payload: every app through :func:`perf_run`."""
+    names = list(apps) if apps else list(DEFAULT_APPS)
+    payload = envelope(
+        "perf",
+        dataset=dataset,
+        nprocs=nprocs,
+        page_size=page_size,
+        repeats=repeats,
+        apps={},
+    )
+    for name in names:
+        if progress:
+            sys.stderr.write(f"[observe] benchmarking {name} "
+                             f"x{repeats}...\n")
+        payload["apps"][name] = perf_run(
+            name, dataset=dataset, nprocs=nprocs, page_size=page_size,
+            repeats=repeats, measure_telemetry=measure_telemetry,
+            progress=progress)
+    return payload
+
+
+def render_perf(payload: Dict) -> str:
+    from repro.harness.report import render_table
+
+    rows: List[list] = []
+    for name, e in payload["apps"].items():
+        att = e.get("attribution_pct", {})
+        top = max(att, key=att.get) if att else "-"
+        rows.append([
+            name, e["sim_time_us"], e["events"],
+            f"{e['events_per_sec']:,.0f}", e["accesses"],
+            f"{e['accesses_per_sec']:,.0f}",
+            f"{e['wall_s'] * 1e3:,.1f}",
+            f"{top} {att.get(top, 0):.0f}%" if att else "-",
+            e.get("telemetry_overhead_pct", "-"),
+        ])
+    return render_table(
+        f"Engine throughput (dataset={payload['dataset']}, "
+        f"nprocs={payload['nprocs']}, best of {payload['repeats']})",
+        ["app", "sim_us", "events", "ev/s", "accesses", "acc/s",
+         "wall ms", "top bucket", "tel +%"],
+        rows,
+        note="counts are deterministic; rates are wall-clock "
+             "(gated with a noise band, see docs/observability.md)")
+
+
+__all__ = ["DEFAULT_APPS", "perf_run", "perf_suite", "render_perf"]

@@ -214,6 +214,14 @@ class Engine:
         #: ``Telemetry.bind_engine``.  Lifecycle events only — per-event
         #: hooks would be far too hot for the scheduling core.
         self.telemetry = None
+        #: Optional :class:`repro.observe.WallProfiler`; set by
+        #: ``WallProfiler.bind_engine``.  When present, :meth:`run`
+        #: switches to an instrumented dispatch loop that times and
+        #: classifies every action.  Never touches simulated state.
+        self.profiler = None
+        #: Optional :class:`repro.observe.RunMonitor` heartbeat; also
+        #: serviced by the instrumented loop.
+        self.monitor = None
         #: Callables returning extra diagnostic lines for the deadlock
         #: dump (e.g. the network registers its mailbox/transport state).
         self._debug_sources: List[Callable[[], List[str]]] = []
@@ -277,10 +285,15 @@ class Engine:
             proc._thread.start()
         for proc in self._processes:
             self._schedule(0.0, proc._switch_in)
-        while self._queue:
-            when, _, action = heapq.heappop(self._queue)
-            self.now = when
-            action()
+        if self.profiler is None and self.monitor is None:
+            queue = self._queue
+            pop = heapq.heappop
+            while queue:
+                when, _, action = pop(queue)
+                self.now = when
+                action()
+        else:
+            self._run_observed()
         if tel is not None:
             for proc in self._processes:
                 tel.event(proc.pid, "sim.proc_done",
@@ -288,6 +301,44 @@ class Engine:
         blocked = [p for p in self._processes if p.alive]
         if blocked:
             raise SimulationDeadlock(self._deadlock_report(blocked))
+
+    def _run_observed(self) -> None:
+        """The dispatch loop with the wall-clock observatory attached.
+
+        Identical scheduling semantics to the plain loop — the profiler
+        and monitor only read the host clock and count — but every
+        action is timed, made exclusive of its leaf scopes, and
+        classified by subsystem.  Kept separate so unobserved runs pay
+        nothing.
+        """
+        from time import perf_counter
+
+        prof = self.profiler
+        mon = self.monitor
+        mask = mon.mask if mon is not None else 0
+        queue = self._queue
+        pop = heapq.heappop
+        n = 0
+        t_start = perf_counter()
+        while queue:
+            when, _, action = pop(queue)
+            self.now = when
+            if prof is not None:
+                t0 = perf_counter()
+                leaf0 = prof.leaf_s
+                action()
+                dt = perf_counter() - t0
+                prof.account(action, dt - (prof.leaf_s - leaf0))
+            else:
+                action()
+            n += 1
+            if mon is not None and not (n & mask):
+                mon.maybe_tick(self, n)
+        if prof is not None:
+            prof.n_events += n
+            prof.run_s += perf_counter() - t_start
+        if mon is not None:
+            mon.finish(self, n)
 
     def _deadlock_report(self, blocked: List[Process]) -> str:
         """A lost message must be debuggable: name every blocked

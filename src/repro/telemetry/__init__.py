@@ -20,6 +20,7 @@ from the paper's Table 2 columns to metric names.
 from repro.telemetry.core import Telemetry
 from repro.telemetry.events import Event, EventBus
 from repro.telemetry.export import (chrome_trace, events_jsonl,
+                                    telemetry_from_jsonl,
                                     write_chrome_trace, write_jsonl)
 from repro.telemetry.metrics import (MetricsRegistry, TM_COUNTER_FIELDS,
                                      TM_TIME_FIELDS)
@@ -28,5 +29,6 @@ from repro.telemetry.spans import Span, SpanLog
 __all__ = [
     "Telemetry", "Event", "EventBus", "MetricsRegistry", "Span",
     "SpanLog", "TM_COUNTER_FIELDS", "TM_TIME_FIELDS",
-    "chrome_trace", "events_jsonl", "write_chrome_trace", "write_jsonl",
+    "chrome_trace", "events_jsonl", "telemetry_from_jsonl",
+    "write_chrome_trace", "write_jsonl",
 ]

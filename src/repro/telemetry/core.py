@@ -106,10 +106,14 @@ class Telemetry:
         """One shared-memory access (``kind`` is ``rt.read``/``rt.write``).
 
         Only emitted when :attr:`access_events` is set; callers should
-        gate on that flag themselves to skip argument marshalling."""
-        if self.access_events:
-            self.event(pid, kind, array=array, dims=dims,
-                       pages=tuple(pages))
+        gate on that flag themselves to skip argument marshalling.
+        The bus check comes before any packing so a disabled bus pays
+        nothing for the (very dense) access stream."""
+        bus = self.bus
+        if self.access_events and bus.enabled:
+            bus.emit(self._clock(), pid, kind, self._epoch.get(pid, 0),
+                     {"array": array, "dims": dims,
+                      "pages": tuple(pages)})
 
     def barrier(self, pid: int) -> None:
         """Enter a barrier: advance the epoch and record the event."""
@@ -191,3 +195,10 @@ class Telemetry:
     def write_jsonl(self, path) -> None:
         from repro.telemetry.export import write_jsonl
         write_jsonl(self, path)
+
+    @staticmethod
+    def from_jsonl(path) -> "Telemetry":
+        """Reload a JSONL export for offline analysis (see
+        :func:`repro.telemetry.export.telemetry_from_jsonl`)."""
+        from repro.telemetry.export import telemetry_from_jsonl
+        return telemetry_from_jsonl(path)

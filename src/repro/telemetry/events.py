@@ -95,8 +95,9 @@ class EventBus:
             return
         ev = Event(ts=ts, pid=pid, kind=kind, epoch=epoch, args=args)
         self.events.append(ev)
-        for fn in self._subscribers:
-            fn(ev)
+        if self._subscribers:
+            for fn in self._subscribers:
+                fn(ev)
 
     # ------------------------------------------------------------------
 

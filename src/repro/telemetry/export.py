@@ -39,6 +39,45 @@ def write_jsonl(telemetry, path) -> None:
         fh.write("\n")
 
 
+def telemetry_from_jsonl(path) -> "object":
+    """Rebuild a :class:`~repro.telemetry.core.Telemetry` from a JSONL
+    export — the inverse of :func:`write_jsonl`.
+
+    Events repopulate the bus and spans repopulate the span log, so the
+    offline analyzers (:mod:`repro.inspect`) run on the reloaded object
+    exactly as they would on the live one.  Live metrics counters are
+    not serialized, so the reconstructed registry is empty; args dicts
+    come back with JSON lists where the emitters used tuples (consumers
+    accept both, see :func:`unpack_sections` in
+    :mod:`repro.telemetry.events`).
+    """
+    from repro.errors import ReproError
+    from repro.telemetry.core import Telemetry
+
+    tel = Telemetry(events=True, spans=True)
+    nprocs = 0
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            r = json.loads(line)
+            rec = r.get("rec")
+            if rec == "event":
+                tel.bus.emit(r["ts"], r["pid"], r["kind"],
+                             r.get("epoch", 0), r.get("args"))
+            elif rec == "span":
+                tel.spans.record(r["pid"], r["name"], r["t0"], r["t1"],
+                                 r.get("epoch", 0))
+            else:
+                raise ReproError(
+                    f"{path}:{lineno}: unknown record type {rec!r} "
+                    f"(expected 'event' or 'span')")
+            nprocs = max(nprocs, int(r["pid"]) + 1)
+    tel.nprocs = nprocs
+    return tel
+
+
 # ----------------------------------------------------------------------
 
 

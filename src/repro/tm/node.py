@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ProtocolError, RecoveryError
@@ -116,6 +117,9 @@ class TmNode:
         #: Optional :class:`repro.telemetry.Telemetry`; ``None`` keeps
         #: every emit site down to a single attribute test.
         self.tel = getattr(system, "telemetry", None)
+        #: Optional :class:`repro.observe.WallProfiler`; same ``None``
+        #: discipline — one attribute test per potential scope.
+        self.prof = getattr(system, "profile", None)
         #: Post-run reconciliation mode: suppress cost charging and stats.
         self.offline = False
         self._atomic_depth = 0
@@ -408,8 +412,17 @@ class TmNode:
         if meta.undiffed is None:
             return
         interval = meta.undiffed
-        diff = make_diff(page, self.pid, interval, meta.twin,
-                         self.image.page(page))
+        prof = self.prof
+        if prof is None:
+            diff = make_diff(page, self.pid, interval, meta.twin,
+                             self.image.page(page))
+        else:
+            # make_diff is pure byte work (never blocks) — a leaf scope
+            # is safe here; _charge below can yield, so it stays outside.
+            t0 = perf_counter()
+            diff = make_diff(page, self.pid, interval, meta.twin,
+                             self.image.page(page))
+            prof.leaf("tm.diff", perf_counter() - t0)
         # Claim the flush and publish the diff BEFORE charging the
         # creation cost: _charge can yield to the engine, and a diff_req
         # interrupt for this same (page, interval) would otherwise
@@ -474,9 +487,17 @@ class TmNode:
             if diff is None:
                 raise ProtocolError(
                     f"P{self.pid} missing diff {dkey} during apply")
-            written = apply_diff(diff, page_bytes)
-            if meta.twin is not None:
-                apply_diff(diff, meta.twin)
+            prof = self.prof
+            if prof is None:
+                written = apply_diff(diff, page_bytes)
+                if meta.twin is not None:
+                    apply_diff(diff, meta.twin)
+            else:
+                t0 = perf_counter()
+                written = apply_diff(diff, page_bytes)
+                if meta.twin is not None:
+                    apply_diff(diff, meta.twin)
+                prof.leaf("tm.diff", perf_counter() - t0)
             cost = self.cfg.diff_apply_cost(written)
             self.stats.t_diff += cost
             self._charge(cost)

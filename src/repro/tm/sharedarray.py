@@ -11,6 +11,7 @@ vectorized operations work at full speed between faults.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Sequence, Tuple, Union
 
 import numpy as np
@@ -79,41 +80,74 @@ class SharedArray:
         Emitted *before* the page-state check so the access appears in
         program order, ahead of any faults it triggers."""
         tel = self.node.tel
-        if tel is not None and tel.access_events:
+        if tel is not None and tel.access_events and tel.bus.enabled:
             from repro.telemetry.events import pack_dims
             tel.access(self.node.pid, kind, self.name,
                        pack_dims(section.dims), pages)
 
+    def _ensure_profiled(self, ensure, pages) -> None:
+        """One page-state check under the wall-clock observatory.
+
+        The leaf scope is only valid for the fault-free fast path: a
+        fault blocks in the engine and hands the host thread to other
+        processes, so faulted samples are discarded (the access still
+        counts toward accesses/sec; the servicing time is attributed
+        by the dispatch loop to the protocol/network buckets).
+        """
+        node = self.node
+        segv0 = node.stats.segv
+        t0 = perf_counter()
+        ensure(pages)
+        dt = perf_counter() - t0
+        node.prof.access_leaf(dt if node.stats.segv == segv0 else None)
+
     def read(self, section: Section) -> np.ndarray:
         """Readable view of ``section`` (faults invalid pages in)."""
-        pages = self.node.layout.pages_of(section)
+        node = self.node
+        pages = node.layout.pages_of(section)
         self._record("rt.read", section, pages)
-        self.node.ensure_read(pages)
-        return self.node.image.section_view(section)
+        if node.prof is None:
+            node.ensure_read(pages)
+        else:
+            self._ensure_profiled(node.ensure_read, pages)
+        return node.image.section_view(section)
 
     def write(self, section: Section, values) -> None:
         """Store ``values`` into ``section`` (write-faults as needed)."""
-        pages = self.node.layout.pages_of(section)
+        node = self.node
+        pages = node.layout.pages_of(section)
         self._record("rt.write", section, pages)
-        self.node.ensure_write(pages)
-        self.node.image.section_view(section)[...] = values
+        if node.prof is None:
+            node.ensure_write(pages)
+        else:
+            self._ensure_profiled(node.ensure_write, pages)
+        node.image.section_view(section)[...] = values
 
     def write_view(self, section: Section) -> np.ndarray:
         """Writable view of ``section`` (no read fault; stale bytes may
         remain outside what the caller overwrites)."""
-        pages = self.node.layout.pages_of(section)
+        node = self.node
+        pages = node.layout.pages_of(section)
         self._record("rt.write", section, pages)
-        self.node.ensure_write(pages)
-        return self.node.image.section_view(section)
+        if node.prof is None:
+            node.ensure_write(pages)
+        else:
+            self._ensure_profiled(node.ensure_write, pages)
+        return node.image.section_view(section)
 
     def rmw(self, section: Section, fn) -> None:
         """Read-modify-write ``section`` via ``fn(view)`` in place."""
-        pages = self.node.layout.pages_of(section)
+        node = self.node
+        pages = node.layout.pages_of(section)
         self._record("rt.read", section, pages)
         self._record("rt.write", section, pages)
-        self.node.ensure_read(pages)
-        self.node.ensure_write(pages)
-        view = self.node.image.section_view(section)
+        if node.prof is None:
+            node.ensure_read(pages)
+            node.ensure_write(pages)
+        else:
+            self._ensure_profiled(node.ensure_read, pages)
+            self._ensure_profiled(node.ensure_write, pages)
+        view = node.image.section_view(section)
         fn(view)
 
     # ------------------------------------------------------------------

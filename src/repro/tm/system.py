@@ -59,7 +59,8 @@ class TmSystem:
                  eager_diffing: bool = False,
                  telemetry=None, faults=None, transport=None,
                  recovery_log_limit: Optional[int] = None,
-                 protocol: Optional[str] = None) -> None:
+                 protocol: Optional[str] = None,
+                 profile=None, monitor=None) -> None:
         self.nprocs = nprocs
         self.layout = layout
         #: Coherence backend class (``protocol=`` selects it by name;
@@ -79,6 +80,15 @@ class TmSystem:
         self.telemetry = telemetry
         if telemetry is not None:
             telemetry.bind_engine(self.engine, nprocs)
+        #: Optional :class:`repro.observe.WallProfiler` /
+        #: :class:`repro.observe.RunMonitor` — the wall-clock
+        #: observatory.  Bound to the engine *before* the network is
+        #: built (the network captures ``engine.profiler``).
+        self.profile = profile
+        if profile is not None:
+            profile.bind_engine(self.engine)
+        if monitor is not None:
+            monitor.bind_engine(self.engine)
         #: Optional :class:`repro.faults.FaultPlan` /
         #: :class:`repro.net.TransportConfig`; a fault plan auto-enables
         #: the reliable transport underneath the DSM protocol.
@@ -149,9 +159,11 @@ class TmSystem:
         for node in self.nodes:
             node.offline = True
             node.tel = None     # offline work must not count or trace
+            node.prof = None
         try:
             return self.nodes[0].coherence.snapshot_arrays()
         finally:
             for node in self.nodes:
                 node.offline = False
                 node.tel = self.telemetry
+                node.prof = self.profile

@@ -10,6 +10,7 @@ Usage::
     python -m repro check [--update-baselines]
     python -m repro chaos --apps jacobi is --intensity heavy
     python -m repro recover --apps jacobi --schedules manager lock
+    python -m repro elastic --apps jacobi --schedules drain-master
     python -m repro sanitize jacobi --opt push
     python -m repro sanitize --all
     python -m repro bench --json BENCH_pr4.json
@@ -372,6 +373,12 @@ def recover_main(argv) -> int:
                              "('-' for stdout)")
     args = parser.parse_args(argv)
 
+    if args.protocol not in (None, "mw-lrc"):
+        from repro.errors import ReproError
+        raise ReproError(
+            f"recover sweeps schedule node crashes, and crash recovery "
+            f"supports only protocol='mw-lrc' (backup logging replays "
+            f"its diff protocol), not {args.protocol!r}")
     if args.plan:
         from repro.apps import get_app
         from repro.faults import plan_from_json
@@ -406,6 +413,97 @@ def recover_main(argv) -> int:
         print(json.dumps(payload, indent=2))
     else:
         print(recover.render_recover(cases))
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(payload, fh, indent=2)
+                fh.write("\n")
+            print(f"wrote {args.json}")
+    return 0 if all(c.ok for c in cases) else 1
+
+
+def elastic_main(argv) -> int:
+    """``python -m repro elastic``: elastic-membership churn sweep."""
+    import json
+
+    from repro.apps import all_apps
+    from repro.harness import elastic
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro elastic",
+        parents=[_sizing_parent(), _protocol_parent()],
+        description="Sweep apps x opt levels x mined membership "
+                    "schedules (node join, graceful drain, heartbeat "
+                    "suspicion/eviction) under the elastic-membership "
+                    "subsystem.  Every elastic run must produce "
+                    "results bit-identical to the static-cluster run "
+                    "with zero inspector violations and zero sanitizer "
+                    "findings — including a *survived* detector false "
+                    "positive; the table reports what churn cost "
+                    "(handoff traffic, heartbeats, detection latency, "
+                    "added simulated time).")
+    parser.add_argument("--apps", nargs="*", default=None,
+                        choices=sorted(all_apps()),
+                        help="applications to sweep (default: all)")
+    parser.add_argument("--opts", nargs="*", default=None,
+                        help="DSM optimization levels (default: every "
+                             "level applicable to each app)")
+    parser.add_argument("--schedules", nargs="*", default=None,
+                        choices=list(elastic.SCHEDULES),
+                        help="membership schedules to mine (default: "
+                             "every schedule applicable to each app)")
+    parser.add_argument("--plan", default=None, metavar="FILE",
+                        help="run this declarative JSON fault plan "
+                             "(with a 'membership' block) for each "
+                             "app/opt pair instead of the mined "
+                             "schedules")
+    parser.add_argument("--no-inspect", action="store_true",
+                        help="skip the protocol-inspector invariant "
+                             "checks on each elastic run")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="export the sweep results as JSON "
+                             "('-' for stdout)")
+    args = parser.parse_args(argv)
+
+    if args.protocol not in (None, "mw-lrc"):
+        from repro.errors import ReproError
+        raise ReproError(
+            f"elastic membership supports only protocol='mw-lrc' (the "
+            f"handoff re-shards its lock/diff protocol), not "
+            f"{args.protocol!r}")
+    if args.plan:
+        from repro.apps import get_app
+        from repro.faults import plan_from_json
+        from repro.harness.modes import applicable_levels
+        plan = plan_from_json(args.plan)
+        names = sorted(args.apps) if args.apps else sorted(all_apps())
+        cases = []
+        for app in names:
+            app_opts = sorted(applicable_levels(get_app(app)))
+            for opt in (args.opts if args.opts is not None
+                        else app_opts):
+                if opt not in app_opts:
+                    continue
+                cases.append(elastic.run_case(
+                    app, opt, "plan", dataset=args.dataset,
+                    nprocs=args.nprocs, page_size=args.page_size,
+                    inspect=not args.no_inspect, plan=plan,
+                    protocol=args.protocol))
+    else:
+        cases = elastic.sweep(apps=args.apps, opts=args.opts,
+                              schedules=args.schedules,
+                              dataset=args.dataset, nprocs=args.nprocs,
+                              page_size=args.page_size,
+                              inspect=not args.no_inspect,
+                              protocol=args.protocol)
+    from repro.harness.schema import envelope
+    payload = envelope("elastic", dataset=args.dataset,
+                       nprocs=args.nprocs, page_size=args.page_size,
+                       protocol=args.protocol,
+                       cases=[c.as_dict() for c in cases])
+    if args.json == "-":
+        print(json.dumps(payload, indent=2))
+    else:
+        print(elastic.render_elastic(cases))
         if args.json:
             with open(args.json, "w") as fh:
                 json.dump(payload, fh, indent=2)
@@ -684,9 +782,9 @@ def report_main(argv) -> int:
 
 SUBCOMMANDS = {"trace": trace_main, "inspect": inspect_main,
                "check": check_main, "chaos": chaos_main,
-               "recover": recover_main, "sanitize": sanitize_main,
-               "bench": bench_main, "perf": perf_main,
-               "report": report_main}
+               "recover": recover_main, "elastic": elastic_main,
+               "sanitize": sanitize_main, "bench": bench_main,
+               "perf": perf_main, "report": report_main}
 
 
 def main(argv=None) -> int:
@@ -700,7 +798,8 @@ def main(argv=None) -> int:
                     "(protocol inspection report), check (baseline "
                     "regression gate), chaos (fault-injection "
                     "robustness sweep), recover (crash-recovery "
-                    "sweep), sanitize (race + hint-soundness "
+                    "sweep), elastic (membership-churn sweep), "
+                    "sanitize (race + hint-soundness "
                     "checking), bench (machine-readable benchmark "
                     "summary), perf (wall-clock engine benchmark + "
                     "regression gate), report (self-contained HTML "

@@ -34,6 +34,12 @@ class RecoveryError(ReproError):
     surviving logs were garbage-collected past the needed interval)."""
 
 
+class MembershipError(ReproError):
+    """A membership plan is malformed or a handoff reached a state the
+    elastic-membership layer cannot re-shard (e.g. overlapping absence
+    windows, a steward that is itself scheduled to crash)."""
+
+
 class LayoutError(ReproError):
     """Invalid shared-memory layout request (overlap, overflow, bad shape)."""
 

@@ -38,6 +38,10 @@ class FaultInjector:
         #: Optional :class:`repro.net.stats.NetStats` for fault counters.
         self.stats = stats
         self.tel = telemetry
+        #: Extra NIC-dark windows registered at run time (membership
+        #: joins, drains, silences).  Same semantics as plan outages;
+        #: kept separate so the declarative plan stays immutable.
+        self.dynamic: List[NodeOutage] = []
 
     # ------------------------------------------------------------------
 
@@ -64,6 +68,9 @@ class FaultInjector:
         for c in self.plan.crashes:
             if c.pid == pid and c.covers(t):
                 return c
+        for o in self.dynamic:
+            if o.pid == pid and o.covers(t):
+                return o
         return None
 
     # ------------------------------------------------------------------

@@ -190,12 +190,31 @@ class FaultPlan:
     partitions: Tuple[Partition, ...] = ()
     outages: Tuple[NodeOutage, ...] = ()
     crashes: Tuple[NodeCrash, ...] = ()
+    #: Optional :class:`repro.membership.MembershipPlan` — elastic
+    #: joins, drains, silences and the heartbeat failure detector.
+    membership: Optional[object] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "links", dict(self.links))
         object.__setattr__(self, "partitions", tuple(self.partitions))
         object.__setattr__(self, "outages", tuple(self.outages))
         object.__setattr__(self, "crashes", tuple(self.crashes))
+        if self.membership is not None:
+            # The nprocs-dependent checks run when the system is built
+            # (MembershipPlan.validate_for); here we only cross-check
+            # membership events against the crash schedule.
+            try:
+                events = self.membership.events()
+            except AttributeError:
+                raise FaultPlanError(
+                    "FaultPlan.membership must be a MembershipPlan") \
+                    from None
+            crash_pids = {c.pid for c in self.crashes}
+            for ev in events:
+                if ev.pid in crash_pids:
+                    raise FaultPlanError(
+                        f"node P{ev.pid} both crashes and has a "
+                        f"membership event; pick one per node")
         seen_pids = set()
         for c in self.crashes:
             if c.pid in seen_pids:
@@ -250,6 +269,8 @@ class FaultPlan:
             parts.append(f"{len(self.outages)} node outages")
         if self.crashes:
             parts.append(f"{len(self.crashes)} node crashes")
+        if self.membership is not None:
+            parts.append(f"membership [{self.membership.describe()}]")
         return ", ".join(parts)
 
     def as_dict(self) -> Dict[str, object]:
@@ -269,6 +290,8 @@ class FaultPlan:
             "crashes": [{"pid": c.pid, "t": c.t,
                          "reboot_us": c.reboot_us}
                         for c in self.crashes],
+            **({"membership": self.membership.as_dict()}
+               if self.membership is not None else {}),
         }
 
 
@@ -286,24 +309,32 @@ def plan_from_dict(data: Mapping[str, object]) -> FaultPlan:
     if not isinstance(data, Mapping):
         raise FaultPlanError(
             f"fault plan must be a JSON object, got {type(data).__name__}")
-    known = {"seed", "default", "links", "partitions", "outages",
-             "crashes"}
-    unknown = sorted(set(data) - known)
-    if unknown:
-        raise FaultPlanError(
-            f"unknown fault-plan keys {unknown}; expected a subset of "
-            f"{sorted(known)}")
-
-    def link_faults(spec, where: str) -> LinkFaults:
+    def check_keys(spec, where: str, required, optional=()) -> Mapping:
+        """Per-entry key validation with an explicit accepted-key list."""
+        allowed = set(required) | set(optional)
         if not isinstance(spec, Mapping):
             raise FaultPlanError(
-                f"{where} must be an object of LinkFaults fields")
-        allowed = set(_PROB_FIELDS) | {"delay_mean_us"}
+                f"{where} must be a JSON object; accepted keys are "
+                f"{sorted(allowed)}")
         bad = sorted(set(spec) - allowed)
         if bad:
             raise FaultPlanError(
-                f"{where} has unknown fields {bad}; expected a subset "
-                f"of {sorted(allowed)}")
+                f"{where} has unknown key(s) {bad}; accepted keys are "
+                f"{sorted(allowed)}")
+        missing = sorted(set(required) - set(spec))
+        if missing:
+            raise FaultPlanError(
+                f"{where} is missing required key(s) {missing}; "
+                f"accepted keys are {sorted(allowed)}")
+        return spec
+
+    check_keys(data, "fault plan", (),
+               optional=("seed", "default", "links", "partitions",
+                         "outages", "crashes", "membership"))
+
+    def link_faults(spec, where: str) -> LinkFaults:
+        check_keys(spec, where, (),
+                   optional=_PROB_FIELDS + ("delay_mean_us",))
         return LinkFaults(**spec)
 
     links: Dict[Tuple[int, int], LinkFaults] = {}
@@ -314,6 +345,39 @@ def plan_from_dict(data: Mapping[str, object]) -> FaultPlan:
             raise FaultPlanError(
                 f"link key {key!r} must look like 'src->dst'") from None
         links[(s, t)] = link_faults(spec, f"links[{key!r}]")
+
+    def membership_plan(spec):
+        if spec is None:
+            return None
+        check_keys(spec, "membership", (),
+                   optional=("heartbeat", "joins", "drains", "silences"))
+        from repro.membership import (HeartbeatConfig, MembershipPlan,
+                                      NodeDrain, NodeJoin, NodeSilence)
+        hb_spec = check_keys(
+            spec.get("heartbeat") or {}, "membership.heartbeat", (),
+            optional=("period_us", "suspect_after_us", "evict_after_us",
+                      "beat_send_cost_us", "beat_handler_cost_us",
+                      "beat_bytes", "max_lifetime_us"))
+        joins = tuple(
+            NodeJoin(pid=int(j["pid"]), t=j["t"])
+            for j in (check_keys(j, f"membership.joins[{i}]",
+                                 ("pid", "t"))
+                      for i, j in enumerate(spec.get("joins") or ())))
+        drains = tuple(
+            NodeDrain(pid=int(d["pid"]), t=d["t"], away_us=d["away_us"])
+            for d in (check_keys(d, f"membership.drains[{i}]",
+                                 ("pid", "t", "away_us"))
+                      for i, d in enumerate(spec.get("drains") or ())))
+        silences = tuple(
+            NodeSilence(pid=int(s["pid"]), t=s["t"],
+                        down_us=s["down_us"])
+            for s in (check_keys(s, f"membership.silences[{i}]",
+                                 ("pid", "t", "down_us"))
+                      for i, s in enumerate(spec.get("silences") or ())))
+        return MembershipPlan(heartbeat=HeartbeatConfig(**hb_spec),
+                              joins=joins, drains=drains,
+                              silences=silences)
+
     try:
         return FaultPlan(
             seed=int(data.get("seed", 0)),
@@ -322,14 +386,24 @@ def plan_from_dict(data: Mapping[str, object]) -> FaultPlan:
             partitions=tuple(
                 Partition(t0=p["t0"], t1=p["t1"],
                           groups=tuple(tuple(g) for g in p["groups"]))
-                for p in (data.get("partitions") or ())),
+                for p in (check_keys(p, f"partitions[{i}]",
+                                     ("t0", "t1", "groups"))
+                          for i, p in enumerate(
+                              data.get("partitions") or ()))),
             outages=tuple(
                 NodeOutage(pid=int(o["pid"]), t0=o["t0"], t1=o["t1"])
-                for o in (data.get("outages") or ())),
+                for o in (check_keys(o, f"outages[{i}]",
+                                     ("pid", "t0", "t1"))
+                          for i, o in enumerate(
+                              data.get("outages") or ()))),
             crashes=tuple(
                 NodeCrash(pid=int(c["pid"]), t=c["t"],
                           reboot_us=c.get("reboot_us", 20000.0))
-                for c in (data.get("crashes") or ())))
+                for c in (check_keys(c, f"crashes[{i}]", ("pid", "t"),
+                                     optional=("reboot_us",))
+                          for i, c in enumerate(
+                              data.get("crashes") or ()))),
+            membership=membership_plan(data.get("membership")))
     except (KeyError, TypeError) as exc:
         raise FaultPlanError(f"malformed fault plan: {exc!r}") from exc
 

@@ -1,0 +1,351 @@
+"""Elastic-membership sweep: churn must be invisible to the result.
+
+For every case (app x opt level x membership schedule) this harness
+runs the application twice — once on a static fault-free cluster, once
+with a scheduled membership change (:mod:`repro.membership`) — and
+asserts the results are *bit-identical*: join catch-up, drain handoff,
+seat migration, lock-token custody and detector re-admission must
+between them never lose or duplicate a write.  Each elastic run is
+traced, fed through the protocol inspector (whose invariants must
+still reconcile exactly) and through the DSM sanitizer (zero races,
+zero hint violations).
+
+Schedules are *mined* from the fault-free run's telemetry:
+
+``join-early``
+    The last processor is a late joiner: dormant until 15% of the
+    fault-free run time, then catches up through the lazy
+    all-pages-invalid re-entry path.
+``drain-mid``
+    Processor 1 gracefully leaves at 50% for a fifth of the run,
+    handing its interval records, diffs and lock state to its steward.
+``drain-master``
+    Processor 0 — barrier seat and static manager of the lowest locks —
+    drains at 40%: exercises seat migration, mid-episode barrier
+    handoff and lock-token custody in one schedule.
+``evict-at-barrier``
+    While some processor sits in its longest barrier wait, the
+    processor it is waiting for goes NIC-silent for far longer than the
+    eviction threshold: the detector declares an eviction, the silent
+    node keeps computing, and the first beat after the window re-admits
+    it.
+``suspect-then-recover``
+    A short silence between the suspicion and eviction thresholds: the
+    detector *wrongly* suspects a live node and must survive its own
+    false positive — the node is re-admitted and the run still
+    bit-identical.
+
+What churn *may* change is cost, and the sweep reports exactly that:
+handoff messages/bytes, heartbeat frames, detection latency, and the
+added run time — all in the versioned JSON envelope
+(``repro-elastic/1``).
+
+Used by ``python -m repro elastic`` and the elastic-smoke CI job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.apps import all_apps, get_app
+from repro.errors import ReproError
+from repro.faults import FaultPlan
+from repro.harness import report
+from repro.harness.modes import applicable_levels
+from repro.harness.recover import _arrays_identical
+from repro.harness.spec import RunSpec, run
+from repro.membership import (HeartbeatConfig, MembershipPlan, NodeDrain,
+                              NodeJoin, NodeSilence)
+from repro.telemetry import Telemetry
+
+#: Mined schedule names, in the order the sweep runs them.
+SCHEDULES = ("join-early", "drain-mid", "drain-master",
+             "evict-at-barrier", "suspect-then-recover")
+
+
+@dataclass
+class ElasticSchedule:
+    """One named membership schedule for a given app/opt pair."""
+
+    name: str
+    plan: MembershipPlan
+    #: Detector verdicts this schedule must provoke (and survive).
+    expect: frozenset = frozenset()
+
+    def fault_plan(self) -> FaultPlan:
+        return FaultPlan(membership=self.plan)
+
+
+@dataclass
+class ElasticCase:
+    """Outcome of one static/elastic run pair."""
+
+    app: str
+    opt: Optional[str]
+    schedule: str
+    identical: bool = False      # arrays bit-identical to static run
+    realized: bool = False       # the membership event actually fired
+    expected: frozenset = frozenset()
+    observed: frozenset = frozenset()
+    violations: List[str] = field(default_factory=list)  # inspector
+    findings: List[str] = field(default_factory=list)    # sanitizer
+    error: Optional[str] = None
+    # Cost of elasticity:
+    base_time: float = 0.0
+    time: float = 0.0
+    handoff_messages: int = 0
+    handoff_bytes: int = 0
+    beats: int = 0
+    detect_us: float = 0.0       # worst detection latency observed
+    suspicions: int = 0
+    evictions: int = 0
+    admissions: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return (self.identical and self.realized
+                and self.expected <= self.observed
+                and ("evicted" in self.expected
+                     or "evicted" not in self.observed)
+                and not self.violations and not self.findings
+                and self.error is None)
+
+    @property
+    def added_time(self) -> float:
+        return self.time - self.base_time
+
+    def as_dict(self) -> dict:
+        return {
+            "app": self.app, "opt": self.opt, "schedule": self.schedule,
+            "ok": self.ok, "identical": self.identical,
+            "realized": self.realized,
+            "expected": sorted(self.expected),
+            "observed": sorted(self.observed),
+            "violations": list(self.violations),
+            "findings": list(self.findings), "error": self.error,
+            "base_time_us": self.base_time, "time_us": self.time,
+            "added_time_us": self.added_time,
+            "handoff_messages": self.handoff_messages,
+            "handoff_bytes": self.handoff_bytes,
+            "beats": self.beats, "detect_us": self.detect_us,
+            "suspicions": self.suspicions,
+            "evictions": self.evictions,
+            "admissions": self.admissions,
+        }
+
+
+def mine_schedules(base, nprocs: int,
+                   names: Optional[Sequence[str]] = None,
+                   heartbeat: Optional[HeartbeatConfig] = None) \
+        -> List[ElasticSchedule]:
+    """Derive membership schedules from a fault-free traced run.
+
+    ``base`` is the fault-free :class:`DsmOutcome` run with telemetry.
+    """
+    wanted = set(names if names is not None else SCHEDULES)
+    hb = heartbeat or HeartbeatConfig()
+    total = base.time
+    out: List[ElasticSchedule] = []
+    if "join-early" in wanted:
+        out.append(ElasticSchedule(
+            "join-early",
+            MembershipPlan(heartbeat=hb, joins=(
+                NodeJoin(nprocs - 1, total * 0.15),))))
+    if "drain-mid" in wanted and nprocs > 2:
+        out.append(ElasticSchedule(
+            "drain-mid",
+            MembershipPlan(heartbeat=hb, drains=(
+                NodeDrain(1, total * 0.50, total * 0.20),))))
+    if "drain-master" in wanted:
+        out.append(ElasticSchedule(
+            "drain-master",
+            MembershipPlan(heartbeat=hb, drains=(
+                NodeDrain(0, total * 0.40, total * 0.20),))))
+    tel = base.telemetry
+    if tel is not None and "evict-at-barrier" in wanted:
+        waits = [s for s in tel.spans.spans if s.name == "wait.barrier"]
+        if waits:
+            s = max(waits, key=lambda s: s.t1 - s.t0)
+            victim = (s.pid + 1) % nprocs
+            down = max(hb.evict_after_us * 2.5, 12000.0)
+            out.append(ElasticSchedule(
+                "evict-at-barrier",
+                MembershipPlan(heartbeat=hb, silences=(
+                    NodeSilence(victim, (s.t0 + s.t1) / 2, down),)),
+                expect=frozenset(("suspected", "evicted", "admitted"))))
+    if "suspect-then-recover" in wanted:
+        down = (hb.suspect_after_us + hb.evict_after_us) / 2
+        out.append(ElasticSchedule(
+            "suspect-then-recover",
+            MembershipPlan(heartbeat=hb, silences=(
+                NodeSilence(nprocs - 2, total * 0.30, down),)),
+            expect=frozenset(("suspected", "admitted"))))
+    return out
+
+
+def run_case(app: str, opt: Optional[str], schedule,
+             base=None, dataset: str = "tiny", nprocs: int = 4,
+             page_size: int = 1024, inspect: bool = True,
+             plan: Optional[FaultPlan] = None,
+             protocol: Optional[str] = None) -> ElasticCase:
+    """Run one app/opt pair statically and elastically; compare bits.
+
+    ``schedule`` is an :class:`ElasticSchedule` (or a name to mine from
+    the fault-free run).  Pass ``plan`` to run an explicit declarative
+    :class:`FaultPlan` (with a ``membership`` block) instead;
+    ``schedule`` then only labels the case.
+    """
+    from repro.sanitizer import Sanitizer
+    from repro.sanitizer.replay import _resolve
+
+    spec = RunSpec(app=app, mode="dsm", dataset=dataset, nprocs=nprocs,
+                   opt=opt, page_size=page_size, protocol=protocol)
+    if base is None:
+        base = run(spec, telemetry=True)
+    expected = frozenset()
+    if isinstance(schedule, str) and plan is None:
+        mined = mine_schedules(base, nprocs, names=(schedule,))
+        if not mined:
+            raise ReproError(
+                f"schedule {schedule!r} does not apply to {app} "
+                f"(no such wait in the fault-free trace)")
+        schedule = mined[0]
+    if plan is not None:
+        name = schedule if isinstance(schedule, str) else schedule.name
+        if getattr(plan, "membership", None) is None:
+            raise ReproError(
+                "elastic run_case needs a fault plan with a "
+                "'membership' block")
+    else:
+        name = schedule.name
+        expected = schedule.expect
+        plan = schedule.fault_plan()
+    case = ElasticCase(app=app, opt=opt, schedule=name,
+                       expected=expected)
+    case.base_time = base.time
+
+    _, opt_cfg, _, layout = _resolve(app, opt, dataset, nprocs,
+                                     page_size)
+    tel = Telemetry(access_events=True)
+    san = Sanitizer(layout, nprocs, opt=opt_cfg)
+    san.attach(tel.bus)
+    try:
+        out = run(spec, faults=plan, telemetry=tel)
+    except Exception as exc:
+        case.error = f"{type(exc).__name__}: {exc}"
+        return case
+    case.time = out.time
+    case.identical = _arrays_identical(base.arrays, out.arrays)
+    observed = set()
+    for ev in tel.bus.events:
+        a = ev.args or {}
+        if ev.kind == "mem.join":
+            case.realized = True
+            observed.add("joined" if a.get("how") == "join"
+                         else "drained")
+            case.handoff_messages = max(case.handoff_messages,
+                                        a.get("handoff_messages", 0))
+            case.handoff_bytes = max(case.handoff_bytes,
+                                     a.get("handoff_bytes", 0))
+        elif ev.kind == "mem.leave":
+            case.realized = True
+        elif ev.kind == "mem.suspect":
+            case.realized = True
+            observed.add("suspected")
+            case.suspicions += 1
+            case.detect_us = max(case.detect_us,
+                                 a.get("quiet_us", 0.0))
+        elif ev.kind == "mem.evict":
+            observed.add("evicted")
+            case.evictions += 1
+        elif ev.kind == "mem.admit":
+            observed.add("admitted")
+            case.admissions += 1
+    case.observed = frozenset(observed)
+    case.beats = out.net.by_kind.get("hb.beat", 0)
+    rep = san.finish()
+    case.findings = [f"[{f.category}:{f.kind}] {f.detail}"
+                     for f in rep.findings]
+    case.findings += rep.reconcile(out)
+    if inspect:
+        from repro.inspect import InspectReport
+        irep = InspectReport.build(
+            out, title=f"{app}/dsm/{opt}/{case.schedule}")
+        case.violations = irep.reconcile()
+    return case
+
+
+def sweep(apps: Optional[Sequence[str]] = None,
+          opts: Optional[Sequence[str]] = None,
+          schedules: Optional[Sequence[str]] = None,
+          dataset: str = "tiny", nprocs: int = 4,
+          page_size: int = 1024, inspect: bool = True,
+          protocol: Optional[str] = None) -> List[ElasticCase]:
+    """The elastic matrix: apps x applicable opt levels x schedules."""
+    names = sorted(apps) if apps else sorted(all_apps())
+    cases: List[ElasticCase] = []
+    for app in names:
+        app_opts = sorted(applicable_levels(get_app(app)))
+        for opt in (opts if opts is not None else app_opts):
+            if opt not in app_opts:
+                continue
+            spec = RunSpec(app=app, mode="dsm", dataset=dataset,
+                           nprocs=nprocs, opt=opt, page_size=page_size,
+                           protocol=protocol)
+            base = run(spec, telemetry=True)
+            for sched in mine_schedules(base, nprocs, names=schedules):
+                cases.append(run_case(
+                    app, opt, sched, base=base, dataset=dataset,
+                    nprocs=nprocs, page_size=page_size,
+                    inspect=inspect, protocol=protocol))
+    return cases
+
+
+def render_elastic(cases: Sequence[ElasticCase]) -> str:
+    """Human-readable sweep table plus a one-line verdict."""
+    rows = []
+    for c in cases:
+        if c.error is not None:
+            status = "ERROR"
+        elif not c.identical:
+            status = "DIVERGED"
+        elif not c.realized or not c.expected <= c.observed:
+            status = "UNREALIZED"
+        elif c.violations or c.findings:
+            status = "INVARIANT"
+        else:
+            status = "ok"
+        rows.append([c.app, c.opt or "-", c.schedule, status,
+                     c.handoff_messages, c.handoff_bytes, c.beats,
+                     f"{c.detect_us:.0f}us" if c.detect_us else "-",
+                     f"{c.added_time:+.0f}us"])
+    table = report.render_table(
+        "Elastic sweep: membership churn vs static cluster "
+        "(bit-identical required)",
+        ["app", "opt", "schedule", "status", "handoff", "handoff B",
+         "beats", "detect", "+time"],
+        rows,
+        note="status 'ok' = results bit-identical, the scheduled "
+             "join/drain/suspicion realized (and any eviction was "
+             "survived), zero inspector violations, zero sanitizer "
+             "findings.")
+    bad = [c for c in cases if not c.ok]
+    verdict = (f"ELASTIC OK: {len(cases)} membership changes absorbed "
+               f"bit-identically"
+               if not bad else
+               f"ELASTIC FAIL: {len(bad)} of {len(cases)} cases "
+               f"diverged")
+    lines = [table, verdict]
+    for c in bad:
+        if c.error:
+            detail = c.error
+        elif not c.identical:
+            detail = "result diverged"
+        elif not c.realized or not c.expected <= c.observed:
+            detail = (f"expected {sorted(c.expected)} but observed "
+                      f"{sorted(c.observed)}")
+        else:
+            detail = "; ".join(c.violations + c.findings)
+        lines.append(f"  ! {c.app}/{c.opt}/{c.schedule}: {detail}")
+    return "\n".join(lines)

@@ -169,6 +169,26 @@ def run(spec: Union[RunSpec, str, AppSpec, Program], **overrides) -> RunOutcome:
             f"node crashes need the DSM recovery subsystem; mode "
             f"{spec.mode!r} cannot recover a crashed node (use mode "
             f"'dsm' or drop the crashes from the fault plan)")
+    if spec.faults is not None and getattr(spec.faults, "crashes", ()) \
+            and spec.protocol not in (None, "mw-lrc"):
+        raise ReproError(
+            f"crash recovery supports only protocol='mw-lrc' (backup "
+            f"logging replays its diff protocol), not "
+            f"{spec.protocol!r}; drop the crashes from the fault plan "
+            f"or switch protocols")
+    if spec.faults is not None and \
+            getattr(spec.faults, "membership", None) is not None:
+        if spec.mode != "dsm":
+            raise ReproError(
+                f"membership events need the DSM membership subsystem; "
+                f"mode {spec.mode!r} cannot re-shard a drained node "
+                f"(use mode 'dsm' or drop membership from the fault "
+                f"plan)")
+        if spec.protocol not in (None, "mw-lrc"):
+            raise ReproError(
+                f"elastic membership supports only protocol='mw-lrc' "
+                f"(the handoff re-shards its lock/diff protocol), not "
+                f"{spec.protocol!r}")
     if spec.mode == "dsm":
         return run_dsm(spec.resolve_program(), nprocs=spec.nprocs,
                        opt=spec.resolve_opt(), config=spec.config,

@@ -1,0 +1,19 @@
+"""Elastic cluster membership: join, drain, evict, re-admit.
+
+See :mod:`repro.membership.plan` for the declarative plan types and
+:mod:`repro.membership.manager` for the runtime (handoff protocol,
+custody services, heartbeat failure detector).
+"""
+
+from repro.membership.manager import MembershipManager
+from repro.membership.plan import (HeartbeatConfig, MembershipPlan,
+                                   NodeDrain, NodeJoin, NodeSilence)
+
+__all__ = [
+    "HeartbeatConfig",
+    "MembershipManager",
+    "MembershipPlan",
+    "NodeDrain",
+    "NodeJoin",
+    "NodeSilence",
+]

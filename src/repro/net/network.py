@@ -77,13 +77,29 @@ class Endpoint:
 
     def send(self, dst: int, kind: str, payload: Any = None,
              size: int = 0, tag: Any = None,
-             send_cost: Optional[float] = None) -> Message:
+             send_cost: Optional[float] = None,
+             unreliable: bool = False,
+             offload: bool = False) -> Message:
         """Send one message; returns the in-flight :class:`Message`.
 
         Charges the sender's CPU with the send overhead (or ``send_cost``
         when given, e.g. the cheaper marginal cost of a pipelined
         broadcast).  Works both from process context and from handler
         context (responses sent while servicing an interrupt).
+
+        ``unreliable=True`` sends a fire-and-forget datagram: the frame
+        bypasses the reliable transport (no sequence number, ack, or
+        retransmission) and is silently dropped if the fabric loses it
+        or the receiver's NIC is dark.  Heartbeats use this — a lost
+        beat must look exactly like a silent sender.
+
+        ``offload=True`` models a NIC-offloaded frame: it departs at the
+        current simulated time instead of queueing behind the sender
+        CPU's busy window.  The CPU is still charged ``send_cost`` (the
+        doorbell write), but a node deep in a compute phase keeps
+        beating on schedule — without this, heartbeats emitted from
+        timer context stack up behind multi-millisecond compute
+        stretches and a live node looks dead to its monitor.
         """
         cfg = self.net.config
         engine = self.net.engine
@@ -94,13 +110,15 @@ class Endpoint:
         else:
             self.proc.steal_cpu(cost)
             depart = self.proc.busy_until
+        if offload:
+            depart = engine.now
         msg = Message(kind=kind, src=self.pid, dst=dst,
                       payload=payload, size=size, tag=tag)
         self.net.stats.record(kind, self.pid, size)
         tel = self.net.telemetry
         if tel is not None:
             tel.message(self.pid, dst, kind, size + cfg.header_bytes)
-        self.net._transmit(msg, depart)
+        self.net._transmit(msg, depart, unreliable=unreliable)
         return msg
 
     def broadcast(self, kind: str, payload: Any = None, size: int = 0,
@@ -228,20 +246,45 @@ class Network:
 
     # ------------------------------------------------------------------
 
-    def _transmit(self, msg: Message, depart: float) -> None:
+    def _transmit(self, msg: Message, depart: float,
+                  unreliable: bool = False) -> None:
         """Put one message on the wire at time ``depart``.
 
         With the reliable transport enabled the frame gets a sequence
         number, fault treatment, and retransmission cover; otherwise it
         is delivered directly after the nominal wire time (the legacy
         perfect-fabric path, byte-identical to the pre-transport code).
+        ``unreliable`` frames (heartbeats) always take the datagram
+        path: one fault-treated copy, no retransmission, dropped at a
+        dark receiver NIC.
         """
+        if unreliable:
+            inj = self.injector
+            copies = ([0.0] if inj is None
+                      else inj.plan_copies(msg.src, msg.dst, msg.kind,
+                                           depart))
+            arrive = depart + self.config.wire_time(msg.size)
+            for extra in copies[:1]:
+                self.engine.call_at(
+                    arrive + extra,
+                    lambda m=msg: self._deliver_unreliable(m))
+            return
         tp = self.transport
         if tp is not None:
             tp.send(msg, depart)
             return
         deliver_at = depart + self.config.wire_time(msg.size)
         self.engine.call_at(deliver_at, lambda: self._deliver(msg))
+
+    def _deliver_unreliable(self, msg: Message) -> None:
+        """Datagram arrival: drop silently if the receiver is dark."""
+        inj = self.injector
+        if inj is not None \
+                and inj.outage_at(msg.dst, self.engine.now) is not None:
+            inj._note("outage", msg.src, msg.dst, msg.kind,
+                      "faults_outage", at_receiver=True)
+            return
+        self._deliver(msg)
 
     def _deliver(self, msg: Message) -> None:
         ep = self._endpoints.get(msg.dst)

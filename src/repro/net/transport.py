@@ -161,11 +161,14 @@ class ReliableTransport:
         msg = entry.msg
         engine = self.net.engine
         if entry.retries >= self.cfg.max_retries:
+            pending = sorted(self._unacked.get(ch, {}))
             raise TransportError(
                 f"channel P{msg.src}->P{msg.dst}: {msg.kind!r} frame "
                 f"seq={seq} unacked after {entry.retries} retries "
                 f"({engine.now - entry.first_depart:.0f}us since first "
-                f"transmission at t={entry.first_depart:.0f})")
+                f"transmission at t={entry.first_depart:.0f}); "
+                f"{len(pending)} frame(s) unacked on this channel "
+                f"(seq {pending[0]}..{pending[-1]})")
         entry.retries += 1
         proc = self.net._endpoints[msg.src].proc
         proc.steal_cpu(self.net.config.send_overhead)

@@ -242,6 +242,16 @@ class Engine:
         return list(self._processes)
 
     @property
+    def any_alive(self) -> bool:
+        """Whether any process is still running or blocked.
+
+        Self-rescheduling timers (e.g. membership heartbeats) use this
+        to stop once the computation is over, so the event queue can
+        drain and :meth:`run` can return.
+        """
+        return any(p.alive for p in self._processes)
+
+    @property
     def current(self) -> Optional[Process]:
         """The process currently executing, if any."""
         return self._current

@@ -33,7 +33,7 @@ class AsyncPlan:
     pages: Set[int]
     fetch_pages: List[int]
     needed_by_page: Dict[int, List[Key]]
-    expected: Dict[int, int]        # writer -> response tag
+    expected: List[Tuple[int, int]]     # (serving pid, response tag)
     perm_sections: List[Section]
     access_type: AccessType
 
@@ -77,25 +77,47 @@ class MwLrcBackend(CoherenceBackend):
                     missing.setdefault(w, []).append((p, i))
         return needed_by_page, missing
 
-    def _send_diff_requests(self, missing) -> Dict[int, int]:
+    def _send_diff_requests(self, missing) -> List[Tuple[int, int]]:
         node = self.node
-        expected: Dict[int, int] = {}
+        expected: List[Tuple[int, int]] = []
         for w in sorted(missing):
             entries = missing[w]
+            away = None if node.mm is None \
+                else node.mm.absent_writer(node.pid, w)
+            if away is not None:
+                # The writer drained away: its steward serves the diffs
+                # of every interval at or below the drain watermark out
+                # of custody.  (Anything newer arrived via a stale
+                # third-party view — the writer is actually back, so a
+                # direct request delivers once its NIC returns.)
+                steward, watermark = away
+                old = [(p, i) for (p, i) in entries if i <= watermark]
+                new = [(p, i) for (p, i) in entries if i > watermark]
+                if old:
+                    node._req_seq += 1
+                    tag = node._req_seq
+                    node.ep.send(steward, "mem.diff_req",
+                                 payload=(w, tuple(old), tag),
+                                 size=8 + 12 * len(old), tag=tag)
+                    expected.append((steward, tag))
+                entries = new
+                if not entries:
+                    continue
             node._req_seq += 1
             tag = node._req_seq
             node.ep.send(w, "diff_req", payload=(tuple(entries), tag),
                          size=4 + 12 * len(entries), tag=tag)
-            expected[w] = tag
+            expected.append((w, tag))
         return expected
 
-    def _recv_diff_responses(self, expected: Dict[int, int]) -> None:
+    def _recv_diff_responses(
+            self, expected: List[Tuple[int, int]]) -> None:
         if not expected:
             return
         node = self.node
         t0 = node.sys.engine.now
-        for w in sorted(expected):
-            msg = node.ep.recv(kind="diff_resp", src=w, tag=expected[w])
+        for serve, tag in expected:
+            msg = node.ep.recv(kind="diff_resp", src=serve, tag=tag)
             node._store_diffs(msg.payload)
         node.stats.t_fetch_wait += node.sys.engine.now - t0
         if node.tel is not None:

@@ -128,6 +128,9 @@ class TmNode:
         #: the fault plan schedules NodeCrash faults.  ``None`` keeps
         #: every hook down to a single attribute test.
         self.rm = getattr(system, "recovery", None)
+        #: Optional :class:`repro.membership.MembershipManager`; set
+        #: when the fault plan schedules membership events.
+        self.mm = getattr(system, "membership", None)
         #: A nested protocol operation is running (crashes must not
         #: realize inside it).
         self._op_active = False
@@ -268,6 +271,26 @@ class TmNode:
 
     def _has_token(self, lid: int) -> bool:
         return self.lock_token.get(lid, lid % self.nprocs == self.pid)
+
+    def _manager_of(self, lid: int) -> int:
+        """Acting manager of ``lid``: the static home, or its steward
+        while the home is drained away (elastic membership)."""
+        if self.mm is not None:
+            return self.mm.acting_manager(self.pid, lid)
+        return lid % self.nprocs
+
+    def _current_master(self) -> int:
+        """Acting barrier master (the seat moves when it drains)."""
+        if self.mm is not None:
+            return self.mm.seat_of(self.pid)
+        return self.master_pid
+
+    def _syncpoint(self) -> None:
+        """Scheduled crash / membership transitions realize here."""
+        if self.rm is not None:
+            self.rm.crashpoint(self)
+        if self.mm is not None:
+            self.mm.syncpoint(self)
 
     # ==================================================================
     # Interval management.
@@ -760,8 +783,7 @@ class TmNode:
     # ==================================================================
 
     def lock_acquire(self, lid: int) -> None:
-        if self.rm is not None:
-            self.rm.crashpoint(self)
+        self._syncpoint()
         self.stats.lock_acquires += 1
         if self.tel is not None:
             self.tel.proto(self.pid, "tm.lock_acquire",
@@ -777,7 +799,7 @@ class TmNode:
             self.lock_held.add(lid)
             self._complete_wsync(wsync)
             return
-        manager = lid % self.nprocs
+        manager = self._manager_of(lid)
         rvc = self._vc_tuple()
         size = (8 + VC_ENTRY_BYTES * self.nprocs
                 + (sreq.wire_bytes() if sreq else 0))
@@ -805,8 +827,7 @@ class TmNode:
         self._complete_wsync(wsync)
 
     def lock_release(self, lid: int) -> None:
-        if self.rm is not None:
-            self.rm.crashpoint(self)
+        self._syncpoint()
         if lid not in self.lock_held:
             raise ProtocolError(f"P{self.pid} releasing unheld lock {lid}")
         if self.tel is not None:
@@ -826,16 +847,27 @@ class TmNode:
     def _route_lock_request(self, lid: int, requester: int,
                             rvc: Tuple[int, ...],
                             sreq: Optional[SyncFetchRequest]) -> None:
+        size = (8 + VC_ENTRY_BYTES * self.nprocs
+                + (sreq.wire_bytes() if sreq else 0))
+        if self.mm is not None:
+            owner = self.mm.acting_manager(self.pid, lid)
+            if owner != self.pid and lid % self.nprocs != self.pid:
+                # Stale-view request: the requester still thought we
+                # were stewarding this lock's (now returned) home.
+                self.ep.send(owner, "lock_req",
+                             payload=(lid, requester, rvc, sreq),
+                             size=size)
+                return
         tail = self.lock_tail.get(lid, lid % self.nprocs)
         self.lock_tail[lid] = requester
         if self.rm is not None:
             self.rm.note_route(self, lid, requester, rvc, sreq, tail)
-        if tail == self.pid:
+        target = tail if self.mm is None \
+            else self.mm.route_pid(self.pid, tail)
+        if target == self.pid:
             self._give_or_queue(lid, requester, rvc, sreq)
         else:
-            size = (8 + VC_ENTRY_BYTES * self.nprocs
-                    + (sreq.wire_bytes() if sreq else 0))
-            self.ep.send(tail, "lock_fwd",
+            self.ep.send(target, "lock_fwd",
                          payload=(lid, requester, rvc, sreq), size=size)
 
     def _h_lock_fwd(self, msg: Message) -> None:
@@ -846,6 +878,10 @@ class TmNode:
     def _give_or_queue(self, lid: int, requester: int,
                        rvc: Tuple[int, ...],
                        sreq: Optional[SyncFetchRequest]) -> None:
+        if self.mm is not None and not self._has_token(lid):
+            # The token may be parked in a drained node's custody we
+            # steward; a successful claim moves it to this node.
+            self.mm.claim_token(self, lid)
         if self._has_token(lid) and lid not in self.lock_held:
             self._grant_lock(lid, requester, rvc, sreq)
         else:
@@ -873,8 +909,7 @@ class TmNode:
     # ==================================================================
 
     def barrier(self) -> None:
-        if self.rm is not None:
-            self.rm.crashpoint(self)
+        self._syncpoint()
         self.stats.barriers += 1
         if self.tel is not None:
             self.tel.barrier(self.pid)   # advances the barrier epoch
@@ -885,7 +920,7 @@ class TmNode:
             self._complete_wsync(wsync)
             return
         extra = self.coherence.barrier_extra()
-        if self.pid == self.master_pid:
+        if self.pid == self._current_master():
             self._barrier_box[self.pid] = (self._vc_tuple(), (), sreq,
                                            extra)
             t0 = self.sys.engine.now
@@ -908,35 +943,73 @@ class TmNode:
             size = (VC_ENTRY_BYTES * self.nprocs + interval_wire_bytes(recs)
                     + (sreq.wire_bytes() if sreq else 0)
                     + self.coherence.barrier_extra_bytes(extra))
-            self.ep.send(self.master_pid, "barrier_arrive",
+            self.ep.send(self._current_master(), "barrier_arrive",
                          payload=(self.pid, avc, tuple(recs), sreq,
                                   extra),
                          size=size)
             if self.rm is not None:
                 self._barrier_wait = (avc, sreq)
             t0 = self.sys.engine.now
-            msg = self.ep.recv(kind="barrier_depart")
+            if self.mm is None:
+                msg = self.ep.recv(kind="barrier_depart")
+            else:
+                msg = self._await_depart_or_seat()
             self._barrier_wait = None
             self.stats.t_barrier_wait += self.sys.engine.now - t0
             if self.tel is not None:
                 self.tel.span(self.pid, "wait.barrier", t0,
                               self.sys.engine.now)
-            master_vc, recs, sreqs, gc_now, plan = msg.payload
-            self.apply_notices(recs, master_vc)
-            self.master_seen_vc = list(master_vc)
-            self.coherence.donate_for_requests(sreqs)
-            if plan is not None:
-                self.coherence.apply_barrier_plan(plan)
-            if gc_now:
-                self._gc_validate()
-                self.ep.send(self.master_pid, "gc_done", size=0)
-                self.ep.recv(kind="gc_discard")
-                self._gc_discard()
+            if msg is None:
+                # The seat moved to this node while it waited as a
+                # client; its own (relayed) arrival is already in the
+                # box — complete the episode as the new master.
+                self._barrier_finish()
+            else:
+                master_vc, recs, sreqs, gc_now, plan = msg.payload
+                self.apply_notices(recs, master_vc)
+                self.master_seen_vc = list(master_vc)
+                self.coherence.donate_for_requests(sreqs)
+                if plan is not None:
+                    self.coherence.apply_barrier_plan(plan)
+                if gc_now:
+                    self._gc_validate()
+                    self.ep.send(self._current_master(), "gc_done",
+                                 size=0)
+                    self.ep.recv(kind="gc_discard")
+                    self._gc_discard()
         self._complete_wsync(wsync, sreq, await_donations=True)
+
+    def _await_depart_or_seat(self) -> Optional[Message]:
+        """Client-side barrier wait under elastic membership.
+
+        Normally returns the ``barrier_depart`` message.  Returns
+        ``None`` when the barrier seat migrated to this node while it
+        was blocked (the previous seat drained away mid-episode) and
+        every arrival — including this node's own, relayed back by the
+        departing seat — has reached its box.
+        """
+        while True:
+            msg = self.ep.try_recv(kind="barrier_depart")
+            if msg is not None:
+                return msg
+            if (self._current_master() == self.pid
+                    and len(self._barrier_box) == self.nprocs):
+                return None
+            self.proc.waiting_on = "barrier departure (or seat handoff)"
+            self.proc.wait()
+            self.proc.waiting_on = None
 
     def _h_barrier_arrive(self, msg: Message) -> None:
         pid, vc, recs, sreq, extra = msg.payload
         self._charge(self.cfg.barrier_arrival_service)
+        if self.mm is not None:
+            seat = self._current_master()
+            if seat != self.pid:
+                # The seat moved while this arrival was in flight (the
+                # sender's view was stale): relay it to the new master.
+                self.ep.send(seat, "barrier_arrive", payload=msg.payload,
+                             size=msg.size)
+                return
         self._barrier_box[pid] = (vc, recs, sreq, extra)
         if len(self._barrier_box) == self.nprocs:
             self.proc.wake()
@@ -999,8 +1072,7 @@ class TmNode:
         exchanged intersections.  With ``asynchronous`` the receives are
         deferred to the first page fault on an expected page.
         """
-        if self.rm is not None:
-            self.rm.crashpoint(self)
+        self._syncpoint()
         self.stats.pushes += 1
         if self.tel is not None:
             from repro.telemetry.events import pack_sections
@@ -1137,6 +1209,8 @@ class TmNode:
         self.coherence.on_gc_discard()
         if self.rm is not None:
             self.rm.on_gc_discard(self.pid)
+        if self.mm is not None:
+            self.mm.on_gc_discard(self.pid)
 
     @staticmethod
     def _intersect_lists(writes: Sequence[Section],

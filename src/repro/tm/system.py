@@ -109,6 +109,20 @@ class TmSystem:
                 self, faults.crashes, log_limit=recovery_log_limit)
         else:
             self.recovery = None
+        #: Optional :class:`repro.membership.MembershipManager`; built
+        #: when the fault plan schedules membership events.  Must exist
+        #: before the nodes (each captures it at construction).
+        if faults is not None and \
+                getattr(faults, "membership", None) is not None:
+            if self.protocol != "mw-lrc":
+                raise ReproError(
+                    "elastic membership supports only protocol="
+                    f"'mw-lrc' (the handoff re-shards its lock/diff "
+                    f"protocol), not {self.protocol!r}")
+            from repro.membership import MembershipManager
+            self.membership = MembershipManager(self, faults.membership)
+        else:
+            self.membership = None
         self.nodes: List[TmNode] = []
 
     def run(self, main: Callable[[TmNode], object]) -> RunResult:
@@ -121,6 +135,8 @@ class TmSystem:
         """
 
         def wrapped(node):
+            if self.membership is not None:
+                self.membership.startup(node)
             result = main(node)
             node.barrier()
             return result
@@ -136,6 +152,10 @@ class TmSystem:
             self.nodes.append(node)
             if self.recovery is not None:
                 self.recovery.attach(node)
+            if self.membership is not None:
+                self.membership.attach(node)
+        if self.membership is not None:
+            self.membership.start()
         self.engine.run()
         per_proc = [replace(n.stats) for n in self.nodes]
         if self.telemetry is not None:

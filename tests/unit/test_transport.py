@@ -132,6 +132,29 @@ def test_dead_link_raises_typed_transport_error():
     assert net.stats.retransmits == 3
 
 
+def test_retry_exhaustion_reports_unacked_sequence_range():
+    """The budget-exhaustion error names the endpoints and the full
+    range of frames still unacked on the channel, not just the one
+    frame whose timer tripped."""
+    def sender(proc, eps):
+        for i in range(3):
+            eps[0].send(1, "data", payload=i)
+
+    def receiver(proc, eps):
+        eps[1].recv(kind="data")
+
+    plan = FaultPlan(links={(0, 1): LinkFaults(drop=1.0)})
+    tp = TransportConfig(rto_us=100.0, max_retries=2)
+    engine, _, _ = build(2, [sender, receiver], faults=plan,
+                         transport=tp)
+    with pytest.raises(TransportError) as ei:
+        engine.run()
+    text = str(ei.value)
+    assert "channel P0->P1" in text
+    assert "3 frame(s) unacked on this channel" in text
+    assert "seq 0..2" in text
+
+
 def test_duplicated_fabric_copies_are_discarded():
     got = []
 

@@ -70,6 +70,18 @@ def _protocol_parent() -> argparse.ArgumentParser:
     return p
 
 
+def _data_plane_parent() -> argparse.ArgumentParser:
+    """``--data-plane``, for commands that run the DSM."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--data-plane", default=None, dest="data_plane",
+                   choices=("onesided",),
+                   help="re-lower the protocol's hot paths onto the "
+                        "one-sided (RDMA-style) data plane; default is "
+                        "the classic two-sided message protocol "
+                        "(docs/networking.md)")
+    return p
+
+
 def _seed_parent(seed: int = 0) -> argparse.ArgumentParser:
     """``--seed``, for commands with a deterministic RNG input."""
     p = argparse.ArgumentParser(add_help=False)
@@ -132,7 +144,7 @@ def trace_main(argv) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro trace",
         parents=[_sizing_parent(), _mode_parent(), _protocol_parent(),
-                 _progress_parent()],
+                 _data_plane_parent(), _progress_parent()],
         description="Run one application with telemetry enabled and "
                     "export a Chrome-trace timeline "
                     "(chrome://tracing or https://ui.perfetto.dev).")
@@ -151,7 +163,8 @@ def trace_main(argv) -> int:
     spec = RunSpec(app=args.app, mode=args.mode, dataset=args.dataset,
                    nprocs=args.nprocs, page_size=args.page_size,
                    opt=args.opt if args.mode == "dsm" else None,
-                   protocol=args.protocol, telemetry=True,
+                   protocol=args.protocol, data_plane=args.data_plane,
+                   telemetry=True,
                    profile=args.profile, monitor=_monitor(args))
     out = run(spec)
     tel = out.telemetry
@@ -186,7 +199,8 @@ def inspect_main(argv) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro inspect",
-        parents=[_sizing_parent(), _mode_parent(), _protocol_parent()],
+        parents=[_sizing_parent(), _mode_parent(), _protocol_parent(),
+                 _data_plane_parent()],
         description="Run one application with telemetry and print the "
                     "protocol inspection report: hot pages, "
                     "lock/barrier contention, critical path.")
@@ -205,7 +219,8 @@ def inspect_main(argv) -> int:
     spec = RunSpec(app=args.app, mode=args.mode, dataset=args.dataset,
                    nprocs=args.nprocs, page_size=args.page_size,
                    opt=args.opt if args.mode == "dsm" else None,
-                   protocol=args.protocol, telemetry=True)
+                   protocol=args.protocol, data_plane=args.data_plane,
+                   telemetry=True)
     rep = inspect_run(spec)
     if args.json == "-":
         print(json.dumps(rep.as_dict(args.top), indent=2))
@@ -247,11 +262,16 @@ def check_main(argv) -> int:
     parser.add_argument("--rtol", type=float,
                         default=baseline.TIME_RTOL,
                         help="relative tolerance for simulated time")
+    parser.add_argument("--data-plane", default=None, dest="data_plane",
+                        choices=("twosided", "onesided"),
+                        help="restrict the run (and any update) to one "
+                             "data plane's entries")
     args = parser.parse_args(argv)
 
     result = baseline.check(path=args.baselines,
                             update=args.update_baselines,
-                            rtol=args.rtol, protocol=args.protocol)
+                            rtol=args.rtol, protocol=args.protocol,
+                            data_plane=args.data_plane)
     if result.updated:
         path = args.baselines or baseline.default_path()
         print(f"updated {path} ({len(result.measured)} entries)")
@@ -279,7 +299,8 @@ def chaos_main(argv) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro chaos",
-        parents=[_sizing_parent(), _seed_parent(), _protocol_parent()],
+        parents=[_sizing_parent(), _seed_parent(), _protocol_parent(),
+                 _data_plane_parent()],
         description="Sweep apps x opt levels x fault intensities under "
                     "deterministic fault injection with the reliable "
                     "transport enabled.  Every faulted run must produce "
@@ -316,7 +337,8 @@ def chaos_main(argv) -> int:
                         dataset=args.dataset, nprocs=args.nprocs,
                         page_size=args.page_size,
                         inspect=not args.no_inspect, plan=plan,
-                        protocol=args.protocol)
+                        protocol=args.protocol,
+                        data_plane=args.data_plane)
     from repro.harness.schema import envelope
     payload = envelope("chaos", seed=args.seed, dataset=args.dataset,
                        nprocs=args.nprocs, page_size=args.page_size,
@@ -430,7 +452,8 @@ def elastic_main(argv) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro elastic",
-        parents=[_sizing_parent(), _protocol_parent()],
+        parents=[_sizing_parent(), _protocol_parent(),
+                 _data_plane_parent()],
         description="Sweep apps x opt levels x mined membership "
                     "schedules (node join, graceful drain, heartbeat "
                     "suspicion/eviction) under the elastic-membership "
@@ -487,14 +510,16 @@ def elastic_main(argv) -> int:
                     app, opt, "plan", dataset=args.dataset,
                     nprocs=args.nprocs, page_size=args.page_size,
                     inspect=not args.no_inspect, plan=plan,
-                    protocol=args.protocol))
+                    protocol=args.protocol,
+                    data_plane=args.data_plane))
     else:
         cases = elastic.sweep(apps=args.apps, opts=args.opts,
                               schedules=args.schedules,
                               dataset=args.dataset, nprocs=args.nprocs,
                               page_size=args.page_size,
                               inspect=not args.no_inspect,
-                              protocol=args.protocol)
+                              protocol=args.protocol,
+                              data_plane=args.data_plane)
     from repro.harness.schema import envelope
     payload = envelope("elastic", dataset=args.dataset,
                        nprocs=args.nprocs, page_size=args.page_size,
@@ -522,7 +547,8 @@ def sanitize_main(argv) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro sanitize",
-        parents=[_sizing_parent(), _protocol_parent()],
+        parents=[_sizing_parent(), _protocol_parent(),
+                 _data_plane_parent()],
         description="Run applications under the DSM sanitizer: "
                     "vector-clock race detection plus compiler-hint "
                     "soundness checking over the telemetry event "
@@ -585,7 +611,8 @@ def sanitize_main(argv) -> int:
         cases = matrix.clean_matrix(apps=apps, dataset=args.dataset,
                                     nprocs=args.nprocs,
                                     page_size=args.page_size,
-                                    protocol=args.protocol)
+                                    protocol=args.protocol,
+                                    data_plane=args.data_plane)
         emit(wrap(cases=[c.report.as_dict() for c in cases]),
              matrix.render_matrix(cases))
         return 0 if all(c.ok for c in cases) else 1
@@ -598,7 +625,8 @@ def sanitize_main(argv) -> int:
                               dataset=args.dataset, nprocs=args.nprocs,
                               page_size=args.page_size,
                               online=not args.offline,
-                              protocol=args.protocol)
+                              protocol=args.protocol,
+                              data_plane=args.data_plane)
     emit(wrap(report=rep.as_dict()), rep.render())
     return 0 if rep.ok else 1
 
@@ -631,6 +659,14 @@ def bench_main(argv) -> int:
                              "of the mode matrix; give names "
                              f"({', '.join(sorted(protocols()))}) or "
                              "no argument for all registered backends")
+    parser.add_argument("--data-planes", nargs="*", default=None,
+                        dest="data_planes",
+                        choices=("twosided", "onesided"),
+                        metavar="PLANE",
+                        help="with --protocols: also sweep the data "
+                             "plane dimension (twosided, onesided); "
+                             "onesided rows carry message/latency "
+                             "deltas vs the matching two-sided cell")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="write the JSON payload here "
                              "('-' for stdout)")
@@ -640,7 +676,8 @@ def bench_main(argv) -> int:
         payload = bench.bench_protocols(
             apps=args.apps, dataset=args.dataset, nprocs=args.nprocs,
             page_size=args.page_size,
-            protocols=args.protocols or None)
+            protocols=args.protocols or None,
+            data_planes=args.data_planes)
         render = bench.render_bench_protocols
     else:
         payload = bench.bench(apps=args.apps, dataset=args.dataset,
@@ -745,7 +782,7 @@ def report_main(argv) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro report",
         parents=[_sizing_parent(), _mode_parent(), _protocol_parent(),
-                 _progress_parent()],
+                 _data_plane_parent(), _progress_parent()],
         description="Run one application traced AND wall-clock "
                     "profiled, then write a single self-contained HTML "
                     "file: summary tiles, critical-path tiling, "
@@ -762,7 +799,8 @@ def report_main(argv) -> int:
     spec = RunSpec(app=args.app, mode=args.mode, dataset=args.dataset,
                    nprocs=args.nprocs, page_size=args.page_size,
                    opt=args.opt if args.mode == "dsm" else None,
-                   protocol=args.protocol, telemetry=True,
+                   protocol=args.protocol, data_plane=args.data_plane,
+                   telemetry=True,
                    profile=profiled,
                    monitor=_monitor(args) if profiled else None)
     out = run(spec)

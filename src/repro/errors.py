@@ -29,6 +29,13 @@ class ProtocolError(ReproError):
     """The DSM protocol reached an invalid state."""
 
 
+class WindowError(ProtocolError):
+    """A one-sided operation targeted a window that is not registered
+    at the destination, or a byte range outside the window's bounds —
+    the RDMA equivalent of a wild pointer.  The message names the
+    window key and the offending range."""
+
+
 class RecoveryError(ReproError):
     """Crash recovery could not restore a consistent state (e.g. the
     surviving logs were garbage-collected past the needed interval)."""

@@ -67,13 +67,16 @@ def bench(apps: Optional[Sequence[str]] = None, dataset: str = "tiny",
 def bench_protocols(apps: Optional[Sequence[str]] = None,
                     dataset: str = "tiny", nprocs: int = 4,
                     page_size: int = 1024,
-                    protocols: Optional[Sequence[str]] = None) -> Dict:
-    """Per-backend DSM comparison: app x opt level x coherence protocol.
+                    protocols: Optional[Sequence[str]] = None,
+                    data_planes: Optional[Sequence[str]] = None) -> Dict:
+    """Per-backend DSM comparison: app x opt x protocol x data plane.
 
     Runs every applicable opt level of every app under each registered
     coherence backend (mw-lrc, hlrc, adaptive, ...) and reports the
     three numbers a protocol study cares about — simulated time,
-    message count, data volume — side by side.
+    message count, data volume — side by side.  ``data_planes`` adds
+    the one-sided dimension: each ``onesided`` row also carries its
+    message/latency delta against the matching two-sided cell.
     """
     from repro.harness.modes import applicable_levels
     from repro.harness.spec import RunSpec, run
@@ -83,6 +86,11 @@ def bench_protocols(apps: Optional[Sequence[str]] = None,
     names = list(apps) if apps is not None else \
         [n for n in APP_ORDER if n in specs]
     protos = list(protocols) if protocols else sorted(registered())
+    planes = list(data_planes) if data_planes else ["twosided"]
+    # Without an explicit data_planes request the payload keeps its
+    # historical single-plane shape (no plane keys anywhere), so
+    # committed artifacts from earlier runs stay byte-identical.
+    extra = {"data_planes": planes} if data_planes else {}
     payload: Dict = envelope(
         "bench-protocols",
         dataset=dataset,
@@ -90,22 +98,43 @@ def bench_protocols(apps: Optional[Sequence[str]] = None,
         page_size=page_size,
         protocols=protos,
         apps={},
+        **extra,
     )
     for name in names:
         rows: List[Dict] = []
         for opt in applicable_levels(specs[name]):
             for proto in protos:
-                out = run(RunSpec(app=name, mode="dsm",
-                                  dataset=dataset, nprocs=nprocs,
-                                  page_size=page_size, opt=opt,
-                                  protocol=proto))
-                rows.append({
-                    "opt": opt,
-                    "protocol": proto,
-                    "time_us": round(float(out.time), 3),
-                    "messages": int(out.messages),
-                    "data_bytes": int(out.data_bytes),
-                })
+                base: Optional[Dict] = None
+                for plane in planes:
+                    out = run(RunSpec(
+                        app=name, mode="dsm", dataset=dataset,
+                        nprocs=nprocs, page_size=page_size, opt=opt,
+                        protocol=proto,
+                        data_plane=None if plane == "twosided"
+                        else plane))
+                    row = {
+                        "opt": opt,
+                        "protocol": proto,
+                        "time_us": round(float(out.time), 3),
+                        "messages": int(out.messages),
+                        "data_bytes": int(out.data_bytes),
+                    }
+                    if data_planes:
+                        row["data_plane"] = plane
+                    net = getattr(out, "net", None)
+                    if net is not None and net.onesided_ops:
+                        row["onesided_ops"] = int(net.onesided_ops)
+                        row["onesided_batches"] = \
+                            int(net.onesided_batches)
+                        row["onesided_bytes"] = int(net.onesided_bytes)
+                    if plane == "twosided":
+                        base = row
+                    elif base is not None:
+                        row["delta_messages"] = \
+                            row["messages"] - base["messages"]
+                        row["delta_time_us"] = round(
+                            row["time_us"] - base["time_us"], 3)
+                    rows.append(row)
         payload["apps"][name] = {"runs": rows}
     return payload
 
@@ -113,16 +142,25 @@ def bench_protocols(apps: Optional[Sequence[str]] = None,
 def render_bench_protocols(payload: Dict) -> str:
     from repro.harness.report import render_table
 
+    planes = payload.get("data_planes", ["twosided"])
     rows = []
     for name, app in payload["apps"].items():
         for r in app["runs"]:
-            rows.append([name, r["opt"], r["protocol"], r["time_us"],
-                         r["messages"], r["data_bytes"]])
+            row = [name, r["opt"], r["protocol"], r["time_us"],
+                   r["messages"], r["data_bytes"]]
+            if len(planes) > 1:
+                row.insert(3, r.get("data_plane", "twosided"))
+                dm = r.get("delta_messages")
+                row.append("-" if dm is None else f"{dm:+d}")
+            rows.append(row)
+    headers = ["app", "opt", "protocol", "time_us", "messages", "bytes"]
+    if len(planes) > 1:
+        headers.insert(3, "plane")
+        headers.append("+msgs")
     return render_table(
         f"Coherence-backend comparison (dataset={payload['dataset']}, "
         f"nprocs={payload['nprocs']})",
-        ["app", "opt", "protocol", "time_us", "messages", "bytes"],
-        rows,
+        headers, rows,
         note="same app results bit-for-bit; only the traffic differs")
 
 

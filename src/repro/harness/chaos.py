@@ -104,7 +104,8 @@ def run_case(app: str, opt: Optional[str], intensity: str,
              seed: int = 0, dataset: str = "tiny", nprocs: int = 4,
              page_size: int = 1024, inspect: bool = True,
              plan: Optional[FaultPlan] = None,
-             protocol: Optional[str] = None) -> ChaosCase:
+             protocol: Optional[str] = None,
+             data_plane: Optional[str] = None) -> ChaosCase:
     """Run one app/opt pair fault-free and faulted; compare bit-by-bit.
 
     Pass ``plan`` to run an explicit declarative :class:`FaultPlan`
@@ -118,7 +119,8 @@ def run_case(app: str, opt: Optional[str], intensity: str,
             f"{sorted(INTENSITIES)}")
     case = ChaosCase(app=app, opt=opt, intensity=intensity, seed=seed)
     spec = RunSpec(app=app, mode="dsm", dataset=dataset, nprocs=nprocs,
-                   opt=opt, page_size=page_size, protocol=protocol)
+                   opt=opt, page_size=page_size, protocol=protocol,
+                   data_plane=data_plane)
     base = run(spec)
     case.base_time = base.time
     case.base_messages = base.net.messages
@@ -151,7 +153,8 @@ def sweep(apps: Optional[Sequence[str]] = None,
           seed: int = 0, dataset: str = "tiny", nprocs: int = 4,
           page_size: int = 1024, inspect: bool = True,
           plan: Optional[FaultPlan] = None,
-          protocol: Optional[str] = None) -> List[ChaosCase]:
+          protocol: Optional[str] = None,
+          data_plane: Optional[str] = None) -> List[ChaosCase]:
     """The chaos matrix: apps x applicable opt levels x intensities.
 
     With an explicit ``plan``, each app/opt pair runs that one plan
@@ -173,7 +176,8 @@ def sweep(apps: Optional[Sequence[str]] = None,
                 cases.append(run_case(
                     app, opt, intensity, seed=seed, dataset=dataset,
                     nprocs=nprocs, page_size=page_size,
-                    inspect=inspect, plan=plan, protocol=protocol))
+                    inspect=inspect, plan=plan, protocol=protocol,
+                    data_plane=data_plane))
     return cases
 
 

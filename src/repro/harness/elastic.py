@@ -188,7 +188,8 @@ def run_case(app: str, opt: Optional[str], schedule,
              base=None, dataset: str = "tiny", nprocs: int = 4,
              page_size: int = 1024, inspect: bool = True,
              plan: Optional[FaultPlan] = None,
-             protocol: Optional[str] = None) -> ElasticCase:
+             protocol: Optional[str] = None,
+             data_plane: Optional[str] = None) -> ElasticCase:
     """Run one app/opt pair statically and elastically; compare bits.
 
     ``schedule`` is an :class:`ElasticSchedule` (or a name to mine from
@@ -200,7 +201,8 @@ def run_case(app: str, opt: Optional[str], schedule,
     from repro.sanitizer.replay import _resolve
 
     spec = RunSpec(app=app, mode="dsm", dataset=dataset, nprocs=nprocs,
-                   opt=opt, page_size=page_size, protocol=protocol)
+                   opt=opt, page_size=page_size, protocol=protocol,
+                   data_plane=data_plane)
     if base is None:
         base = run(spec, telemetry=True)
     expected = frozenset()
@@ -281,7 +283,8 @@ def sweep(apps: Optional[Sequence[str]] = None,
           schedules: Optional[Sequence[str]] = None,
           dataset: str = "tiny", nprocs: int = 4,
           page_size: int = 1024, inspect: bool = True,
-          protocol: Optional[str] = None) -> List[ElasticCase]:
+          protocol: Optional[str] = None,
+          data_plane: Optional[str] = None) -> List[ElasticCase]:
     """The elastic matrix: apps x applicable opt levels x schedules."""
     names = sorted(apps) if apps else sorted(all_apps())
     cases: List[ElasticCase] = []
@@ -292,13 +295,14 @@ def sweep(apps: Optional[Sequence[str]] = None,
                 continue
             spec = RunSpec(app=app, mode="dsm", dataset=dataset,
                            nprocs=nprocs, opt=opt, page_size=page_size,
-                           protocol=protocol)
+                           protocol=protocol, data_plane=data_plane)
             base = run(spec, telemetry=True)
             for sched in mine_schedules(base, nprocs, names=schedules):
                 cases.append(run_case(
                     app, opt, sched, base=base, dataset=dataset,
                     nprocs=nprocs, page_size=page_size,
-                    inspect=inspect, protocol=protocol))
+                    inspect=inspect, protocol=protocol,
+                    data_plane=data_plane))
     return cases
 
 

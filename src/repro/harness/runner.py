@@ -48,6 +48,7 @@ def run_dsm(program: Program, nprocs: int,
             eager_diffing: bool = False,
             telemetry=None, faults=None, transport=None,
             protocol: Optional[str] = None,
+            data_plane: Optional[str] = None,
             profile=None, monitor=None) -> DsmOutcome:
     """Run on the (optionally compiler-optimized) TreadMarks DSM."""
     prog = transform(program, opt) if opt is not None else program
@@ -57,6 +58,7 @@ def run_dsm(program: Program, nprocs: int,
                       eager_diffing=eager_diffing,
                       telemetry=telemetry, faults=faults,
                       transport=transport, protocol=protocol,
+                      data_plane=data_plane,
                       profile=profile, monitor=monitor)
 
     def main(node):

@@ -59,6 +59,11 @@ class RunSpec:
     #: ("mw-lrc", "hlrc", "adaptive") or None for the default (the
     #: paper's mw-lrc).  See :mod:`repro.tm.coherence`.
     protocol: Optional[str] = None
+    #: Data plane for DSM runs: None/"twosided" (default; every message
+    #: takes the classic handler/mailbox paths) or "onesided" (the
+    #: RDMA-style plane of :mod:`repro.net.onesided`; diff fetches,
+    #: Push rounds and lock grants lower onto one-sided ops).
+    data_plane: Optional[str] = None
     #: ``True`` to trace with a fresh :class:`Telemetry`, or pass an
     #: existing instance; ``False`` runs without any telemetry overhead.
     telemetry: Union[bool, Telemetry] = False
@@ -154,6 +159,24 @@ def run(spec: Union[RunSpec, str, AppSpec, Program], **overrides) -> RunOutcome:
                 f"protocol={spec.protocol!r} selects a DSM coherence "
                 f"backend; mode {spec.mode!r} does not run the DSM")
 
+    if spec.data_plane not in (None, "twosided", "onesided"):
+        raise ReproError(
+            f"unknown data_plane {spec.data_plane!r}; expected "
+            f"'twosided' (default) or 'onesided'")
+    if spec.data_plane == "onesided":
+        if spec.mode != "dsm":
+            raise ReproError(
+                f"data_plane='onesided' lowers the DSM protocol onto "
+                f"one-sided ops; mode {spec.mode!r} does not run the "
+                f"DSM")
+        if spec.faults is not None and getattr(spec.faults,
+                                               "crashes", ()):
+            raise ReproError(
+                "data_plane='onesided' does not support scheduled node "
+                "crashes (backup logging replays the two-sided diff "
+                "protocol); run crash schedules on the default data "
+                "plane")
+
     if spec.mode == "seq":
         if spec.faults is not None or spec.transport:
             raise ReproError(
@@ -196,7 +219,8 @@ def run(spec: Union[RunSpec, str, AppSpec, Program], **overrides) -> RunOutcome:
                        gc_threshold=spec.gc_threshold,
                        eager_diffing=spec.eager_diffing, telemetry=tel,
                        faults=spec.faults, transport=spec.transport,
-                       protocol=spec.protocol, profile=prof,
+                       protocol=spec.protocol,
+                       data_plane=spec.data_plane, profile=prof,
                        monitor=spec.monitor)
     if spec.mode == "xhpf":
         return run_xhpf(spec.resolve_program(), nprocs=spec.nprocs,

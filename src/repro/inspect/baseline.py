@@ -34,6 +34,9 @@ COUNT_FIELDS = (
     # baseline files without them compare as zero).
     "home_flushes", "home_applies", "page_fetches", "pages_served",
     "home_migrations",
+    # One-sided data plane (all zero on the default two-sided plane).
+    "onesided_reads", "onesided_writes", "onesided_lock_fast",
+    "onesided_lock_retries", "onesided_fallbacks",
 )
 
 #: Relative tolerance for simulated time (floats only).
@@ -45,20 +48,29 @@ TIME_RTOL = 1e-6
 #: ``app/mode/opt@protocol``).
 DEFAULT_MATRIX = tuple(
     dict(app=app, mode=mode, opt=opt, dataset="tiny", nprocs=4,
-         page_size=1024, protocol=protocol)
-    for app, mode, opt, protocol in (
-        ("jacobi", "dsm", "base", None),
-        ("jacobi", "dsm", "aggr", None),
-        ("jacobi", "dsm", "push", None),
-        ("jacobi", "mp", None, None),
-        ("is", "dsm", "base", None),
-        ("is", "dsm", "aggr", None),
-        ("is", "mp", None, None),
-        ("jacobi", "dsm", "base", "hlrc"),
-        ("jacobi", "dsm", "push", "hlrc"),
-        ("is", "dsm", "base", "hlrc"),
-        ("jacobi", "dsm", "base", "adaptive"),
-        ("is", "dsm", "base", "adaptive"),
+         page_size=1024, protocol=protocol, data_plane=data_plane)
+    for app, mode, opt, protocol, data_plane in (
+        ("jacobi", "dsm", "base", None, None),
+        ("jacobi", "dsm", "aggr", None, None),
+        ("jacobi", "dsm", "push", None, None),
+        ("jacobi", "mp", None, None, None),
+        ("is", "dsm", "base", None, None),
+        ("is", "dsm", "aggr", None, None),
+        ("is", "mp", None, None, None),
+        ("jacobi", "dsm", "base", "hlrc", None),
+        ("jacobi", "dsm", "push", "hlrc", None),
+        ("is", "dsm", "base", "hlrc", None),
+        ("jacobi", "dsm", "base", "adaptive", None),
+        ("is", "dsm", "base", "adaptive", None),
+        # One-sided data plane cells (keyed ``...+onesided``).
+        ("jacobi", "dsm", "base", None, "onesided"),
+        ("jacobi", "dsm", "push", None, "onesided"),
+        ("is", "dsm", "base", None, "onesided"),
+        ("is", "dsm", "aggr", None, "onesided"),
+        ("gauss", "dsm", "aggr", None, "onesided"),
+        ("mgs", "dsm", "aggr", None, "onesided"),
+        ("jacobi", "dsm", "base", "hlrc", "onesided"),
+        ("is", "dsm", "base", "adaptive", "onesided"),
     ))
 
 
@@ -77,10 +89,23 @@ def key_protocol(key: str) -> str:
     return key.rsplit("@", 1)[1] if "@" in key else "mw-lrc"
 
 
+def spec_data_plane(spec: dict) -> str:
+    """The effective data plane of one matrix entry."""
+    return spec.get("data_plane") or "twosided"
+
+
+def key_data_plane(key: str) -> str:
+    """The data plane a baseline key belongs to."""
+    head = key.rsplit("@", 1)[0]
+    return "onesided" if head.endswith("+onesided") else "twosided"
+
+
 def entry_key(spec: dict) -> str:
     key = f"{spec['app']}/{spec['mode']}"
     if spec.get("opt"):
         key += f"/{spec['opt']}"
+    if spec.get("data_plane"):
+        key += f"+{spec['data_plane']}"
     if spec_protocol(spec) != "mw-lrc":
         key += f"@{spec['protocol']}"
     return key
@@ -106,6 +131,13 @@ def measure(spec: dict) -> dict:
         if net is not None:
             entry["messages_by_kind"] = {
                 k: net.by_kind[k] for k in sorted(net.by_kind)}
+            if net.onesided_ops:
+                entry["onesided"] = {
+                    "ops": net.onesided_ops,
+                    "batches": net.onesided_batches,
+                    "bytes": net.onesided_bytes,
+                    "cas_failures": net.onesided_cas_failures,
+                }
     return entry
 
 
@@ -129,7 +161,7 @@ def compare_entry(key: str, expected: dict, actual: dict,
             problems.append(f"{key}: {name} expected "
                             f"{expected.get(name)}, got "
                             f"{actual.get(name)}")
-    for scope in ("counts", "messages_by_kind"):
+    for scope in ("counts", "messages_by_kind", "onesided"):
         exp = expected.get(scope, {})
         act = actual.get(scope, {})
         for name in sorted(set(exp) | set(act)):
@@ -191,25 +223,35 @@ def save(baselines: Dict[str, dict],
 
 def check(path: Optional[Path] = None, matrix=DEFAULT_MATRIX,
           update: bool = False, rtol: float = TIME_RTOL,
-          protocol: Optional[str] = None) -> CheckResult:
+          protocol: Optional[str] = None,
+          data_plane: Optional[str] = None) -> CheckResult:
     """Re-measure the matrix and compare (or rewrite) the baselines.
 
-    ``protocol`` restricts the run to one backend's entries; an update
-    then rewrites only those, leaving the other backends' baselines
-    untouched (per-backend ``--update-baselines``).
+    ``protocol`` restricts the run to one backend's entries, and
+    ``data_plane`` (``twosided`` / ``onesided``) to one data plane's;
+    an update then rewrites only those, leaving the other entries
+    untouched (per-backend / per-plane ``--update-baselines``).
     """
     if protocol is not None:
         from repro.tm.coherence import get_backend
         get_backend(protocol)   # unknown names raise ReproError
         matrix = tuple(s for s in matrix
                        if spec_protocol(s) == protocol)
+    if data_plane is not None:
+        matrix = tuple(s for s in matrix
+                       if spec_data_plane(s) == data_plane)
     measured = collect(matrix)
     path = default_path() if path is None else Path(path)
     if update:
         merged: Dict[str, dict] = {}
-        if protocol is not None and path.exists():
-            merged = {k: v for k, v in load(path).items()
-                      if key_protocol(k) != protocol}
+        if (protocol is not None or data_plane is not None) \
+                and path.exists():
+            merged = {
+                k: v for k, v in load(path).items()
+                if (protocol is not None
+                    and key_protocol(k) != protocol)
+                or (data_plane is not None
+                    and key_data_plane(k) != data_plane)}
         merged.update(measured)
         save(merged, path)
         return CheckResult(ok=True, measured=measured, updated=True)
@@ -222,6 +264,9 @@ def check(path: Optional[Path] = None, matrix=DEFAULT_MATRIX,
     if protocol is not None:
         expected = {k: v for k, v in expected.items()
                     if key_protocol(k) == protocol}
+    if data_plane is not None:
+        expected = {k: v for k, v in expected.items()
+                    if key_data_plane(k) == data_plane}
     problems = compare(expected, measured, rtol)
     return CheckResult(ok=not problems, problems=problems,
                        measured=measured)

@@ -34,12 +34,13 @@ _EPS = 1e-9
 #: every entry because message-passing mode implements its barriers and
 #: exchanges with plain ``mp`` sends.
 WAIT_MSG_KINDS: Dict[str, Tuple[str, ...]] = {
-    "wait.lock": ("lock_grant",),
+    "wait.lock": ("lock_grant", "lock_sync_grant", "lock_win_ack",
+                  "rdma.cmpl"),
     "wait.barrier": ("barrier_depart", "barrier_arrive", "mp"),
     "wait.fetch": ("diff_resp", "diff_donate", "push_data", "page_resp",
-                   "mp"),
+                   "mp", "rdma.cmpl", "rdma.put"),
     "wait.flush": ("home_flush_ack",),
-    "wait.push": ("push_data",),
+    "wait.push": ("push_data", "rdma.put"),
 }
 
 _CATEGORY = {"compute": "compute", "cpu.protect": "protocol",
@@ -132,13 +133,25 @@ class _Walker:
         self.inbound: Dict[Tuple[int, str], Tuple[List[float], List[int]]] \
             = {}
         for ev in tel.bus.events:
-            if ev.kind != "net.msg":
-                continue
             args = ev.args or {}
-            key = (args.get("to"), args.get("msg"))
+            if ev.kind == "net.msg":
+                key = (args.get("to"), args.get("msg"))
+                src = ev.pid
+            elif ev.kind == "net.rdma.cmpl":
+                # Completion of a sync one-sided batch: serviced at the
+                # host (ev.pid), released the initiator (args["to"]).
+                key = (args.get("to"), "rdma.cmpl")
+                src = ev.pid
+            elif ev.kind == "net.rdma.put":
+                # Posted-batch NIC deposit at ev.pid, initiated by
+                # args["frm"]: can release a wait at the *host*.
+                key = (ev.pid, "rdma.put")
+                src = args.get("frm")
+            else:
+                continue
             ts_list, src_list = self.inbound.setdefault(key, ([], []))
             ts_list.append(ev.ts)
-            src_list.append(ev.pid)
+            src_list.append(src)
         self._last_activity = self._find_end(tel)
 
     def _find_end(self, tel) -> Tuple[float, int]:

@@ -94,6 +94,7 @@ class InspectReport:
             if n_msg != net.messages:
                 problems.append(f"messages: events={n_msg} "
                                 f"NetStats={net.messages}")
+            problems.extend(self._reconcile_onesided(net, tel))
 
         problems.extend(self._reconcile_accesses())
 
@@ -102,6 +103,41 @@ class InspectReport:
         if abs(cp_total - end) > rtol * max(1.0, abs(end)):
             problems.append(f"critical path: segments sum to "
                             f"{cp_total:.3f}, end-to-end is {end:.3f}")
+        return problems
+
+    @staticmethod
+    def _reconcile_onesided(net, tel) -> List[str]:
+        """Cross-check ``net.rdma.*`` events against the one-sided
+        NetStats counters.
+
+        Exact-match accounting doctrine: one ``net.rdma.batch`` event
+        per doorbell, one ``net.rdma.op`` per op, write payload bytes
+        counted at post (on the op event), read response bytes at
+        completion (on the ``net.rdma.cmpl`` event), one
+        ``net.rdma.cas_fail`` per failed compare-and-swap.  On the
+        default two-sided plane all of these are zero on both sides.
+        """
+        batches = ops = nbytes = cas_fails = 0
+        for ev in tel.bus.events:
+            if ev.kind == "net.rdma.batch":
+                batches += 1
+            elif ev.kind == "net.rdma.op":
+                ops += 1
+                nbytes += (ev.args or {}).get("bytes", 0)
+            elif ev.kind == "net.rdma.cmpl":
+                nbytes += (ev.args or {}).get("bytes", 0)
+            elif ev.kind == "net.rdma.cas_fail":
+                cas_fails += 1
+        problems: List[str] = []
+        for name, got, want in (
+                ("onesided_batches", batches, net.onesided_batches),
+                ("onesided_ops", ops, net.onesided_ops),
+                ("onesided_bytes", nbytes, net.onesided_bytes),
+                ("onesided_cas_failures", cas_fails,
+                 net.onesided_cas_failures)):
+            if got != want:
+                problems.append(
+                    f"{name}: events={got} NetStats={want}")
         return problems
 
     def _reconcile_accesses(self) -> List[str]:

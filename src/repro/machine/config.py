@@ -57,6 +57,20 @@ class MachineConfig:
     #: Protocol header bytes added to every message.
     header_bytes: int = 32
 
+    # --- one-sided data plane (RDMA-style; exercised only when the
+    # run is built with data_plane="onesided") ---------------------------
+    #: Initiator CPU per posted batch: building the work-queue entries
+    #: plus the doorbell write.  Far below ``send_overhead`` — no kernel
+    #: crossing, no copy.
+    rdma_post_cost: float = 5.0
+    #: Destination **NIC** service time per one-sided op.  No CPU is
+    #: stolen from the destination process; this is pure NIC latency.
+    rdma_op_service: float = 1.0
+    #: Wire descriptor bytes per op inside a batch frame.
+    rdma_op_bytes: int = 16
+    #: Initiator CPU to reap a completion from the completion queue.
+    rdma_poll_cost: float = 2.0
+
     # --- request servicing ---------------------------------------------
     #: Handler CPU for a generic small request (e.g. a diff request with
     #: nothing to compute).  Calibrated so that the minimum roundtrip is

@@ -505,6 +505,14 @@ class MembershipManager:
         cust = _Custody(tokens)
         cust.diffs = dict(diffs)
         self._custody[victim] = cust
+        plane = getattr(self.sys.net, "onesided", None)
+        if plane is not None:
+            # One-sided mode: re-register the inherited diffs as this
+            # steward's custody windows, so below-watermark fetches for
+            # the drained writer stay one-sided reads.
+            for (w, i, p), dd in cust.diffs.items():
+                plane.register(node.pid, ("cdiff", w, i, p), value=dd,
+                               nbytes=dd.wire_bytes)
         # Conservative install: apply_notices merges the clock and
         # invalidates through the normal event stream, so the inspector
         # sees ordinary tm.invalidate traffic, not magic.
@@ -605,9 +613,14 @@ class MembershipManager:
     def on_gc_discard(self, pid: int) -> None:
         """Barrier-time GC on ``pid``: its custody diffs are dead weight
         (after the GC rendezvous nothing pre-GC is ever requested)."""
+        trimmed = False
         for victim, cust in self._custody.items():
             if self._steward[victim] == pid:
                 cust.diffs = {}
+                trimmed = True
+        plane = getattr(self.sys.net, "onesided", None)
+        if trimmed and plane is not None:
+            plane.deregister_where(pid, lambda k: k[0] == "cdiff")
 
     # ------------------------------------------------------------------
     # Diagnostics and reporting.

@@ -1,11 +1,14 @@
 """Simulated interconnect: point-to-point messages, handlers, statistics,
-and the optional reliable transport that survives injected faults."""
+the optional reliable transport that survives injected faults, and the
+optional one-sided (RDMA-style) data plane."""
 
 from repro.net.message import Message
 from repro.net.network import Endpoint, Network
+from repro.net.onesided import OneSidedPlane, Window
 from repro.net.stats import NetStats
 from repro.net.transport import (ACK_KIND, ReliableTransport,
                                  TransportConfig)
 
 __all__ = ["Message", "Endpoint", "Network", "NetStats",
-           "TransportConfig", "ReliableTransport", "ACK_KIND"]
+           "TransportConfig", "ReliableTransport", "ACK_KIND",
+           "OneSidedPlane", "Window"]

@@ -219,6 +219,12 @@ class Network:
         #: with zero overhead; a fault plan auto-enables it, since the
         #: DSM protocol cannot survive loss without it.
         self.transport = None
+        #: Optional :class:`~repro.net.onesided.OneSidedPlane`.  Built
+        #: by the system layer when the run asks for
+        #: ``data_plane="onesided"``; ``None`` (the default) means no
+        #: ``rdma.*`` frames ever exist and delivery is byte-identical
+        #: to the two-sided-only build.
+        self.onesided = None
         if faults is not None:
             from repro.faults import FaultInjector
             self.injector = FaultInjector(faults, nprocs,
@@ -293,6 +299,19 @@ class Network:
         prof = self.profiler
         if prof is not None:
             prof.n_messages += 1
+        if self.onesided is not None and msg.kind.startswith("rdma."):
+            # Third delivery path: the destination NIC services the
+            # frame.  No interrupt, no handler, no mailbox — the
+            # destination process is never scheduled.
+            if prof is None:
+                self.onesided._receive(msg)
+            else:
+                t0 = perf_counter()
+                leaf0 = prof.leaf_s
+                self.onesided._receive(msg)
+                dt = perf_counter() - t0
+                prof.leaf("net.rdma", dt - (prof.leaf_s - leaf0))
+            return
         entry = ep.handlers.get(msg.kind)
         if entry is not None:
             handler, interrupt = entry
@@ -331,4 +350,6 @@ class Network:
                        f"{shown}{more}")
         if self.transport is not None:
             out.extend(self.transport.debug_lines())
+        if self.onesided is not None:
+            out.extend(self.onesided.debug_lines())
         return out

@@ -27,6 +27,26 @@ class NetStats:
     bytes_by_kind: Counter = field(default_factory=Counter)
     per_proc_sent: Counter = field(default_factory=Counter)
 
+    # --- one-sided data plane ------------------------------------------
+    # One-sided (RDMA-style) traffic is deliberately *not* counted in
+    # ``messages`` / ``by_kind``: those count CPU-involving messages,
+    # and the whole point of the one-sided plane is that its frames are
+    # serviced by the destination NIC without scheduling the
+    # destination process.  It gets its own books instead, mirrored to
+    # telemetry as ``net.rdma.*`` events (reconciled exactly by the
+    # inspector).
+    #: One-sided ops posted (reads + writes + CAS + FAA).
+    onesided_ops: int = 0
+    #: Batch frames posted (a doorbell ring; >= 1 op each).
+    onesided_batches: int = 0
+    #: Payload bytes moved one-sidedly (write bytes at post time plus
+    #: read-result bytes at completion time; descriptors excluded).
+    onesided_bytes: int = 0
+    #: Compare-and-swap ops that found an unexpected value.
+    onesided_cas_failures: int = 0
+    #: Ops per op code ("read" / "write" / "cas" / "faa").
+    onesided_by_op: Counter = field(default_factory=Counter)
+
     # --- reliable transport --------------------------------------------
     #: Data frames resent after a retransmission timeout.
     retransmits: int = 0
@@ -73,6 +93,16 @@ class NetStats:
             "faults_outage": self.faults_outage,
         }
 
+    def onesided_summary(self) -> Dict[str, object]:
+        """The one-sided data plane's books as a flat dict."""
+        return {
+            "ops": self.onesided_ops,
+            "batches": self.onesided_batches,
+            "bytes": self.onesided_bytes,
+            "cas_failures": self.onesided_cas_failures,
+            "by_op": dict(self.onesided_by_op),
+        }
+
     def summary(self) -> Dict[str, object]:
         out = {
             "messages": self.messages,
@@ -82,4 +112,6 @@ class NetStats:
         transport = self.transport_summary()
         if any(transport.values()):
             out["transport"] = transport
+        if self.onesided_batches:
+            out["onesided"] = self.onesided_summary()
         return out

@@ -170,16 +170,24 @@ class ReliableTransport:
                 f"{len(pending)} frame(s) unacked on this channel "
                 f"(seq {pending[0]}..{pending[-1]})")
         entry.retries += 1
-        proc = self.net._endpoints[msg.src].proc
-        proc.steal_cpu(self.net.config.send_overhead)
-        depart = proc.busy_until
         stats = self.net.stats
-        stats.record(msg.kind, msg.src, msg.size)
-        stats.retransmits += 1
         tel = self.net.telemetry
+        if msg.kind.startswith("rdma."):
+            # One-sided frames are retransmitted by the NIC itself: no
+            # sender CPU is stolen and the frame stays out of the
+            # two-sided message books (its ops were already counted at
+            # post time; retransmission moves the same ops again).
+            depart = engine.now
+        else:
+            proc = self.net._endpoints[msg.src].proc
+            proc.steal_cpu(self.net.config.send_overhead)
+            depart = proc.busy_until
+            stats.record(msg.kind, msg.src, msg.size)
+            if tel is not None:
+                tel.message(msg.src, msg.dst, msg.kind,
+                            msg.size + self.net.config.header_bytes)
+        stats.retransmits += 1
         if tel is not None:
-            tel.message(msg.src, msg.dst, msg.kind,
-                        msg.size + self.net.config.header_bytes)
             tel.event(msg.src, "net.retry", to=msg.dst, msg=msg.kind,
                       seq=seq, attempt=entry.retries)
         self._wire_data(entry, depart)

@@ -76,7 +76,8 @@ def clean_matrix(apps: Optional[Sequence[str]] = None,
                  opts: Optional[Sequence[str]] = None,
                  dataset: str = "tiny", nprocs: int = 4,
                  page_size: int = 1024,
-                 protocol: Optional[str] = None) -> List[SanitizeCase]:
+                 protocol: Optional[str] = None,
+                 data_plane: Optional[str] = None) -> List[SanitizeCase]:
     """Sanitize every app at every applicable opt level."""
     from repro.apps import all_apps
     from repro.harness.modes import applicable_levels
@@ -92,7 +93,8 @@ def clean_matrix(apps: Optional[Sequence[str]] = None,
                 continue
             _, rep = sanitize_run(name, opt=lvl, dataset=dataset,
                                   nprocs=nprocs, page_size=page_size,
-                                  protocol=protocol)
+                                  protocol=protocol,
+                                  data_plane=data_plane)
             cases.append(SanitizeCase(
                 app=name, opt=lvl, ok=rep.ok, races=len(rep.races),
                 hint_findings=len(rep.hint_findings),

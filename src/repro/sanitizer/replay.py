@@ -39,7 +39,8 @@ def _resolve(app, opt, dataset: str, nprocs: int, page_size: int):
 def sanitize_run(app, opt="aggr+cons", dataset: str = "tiny",
                  nprocs: int = 4, page_size: int = 1024,
                  online: bool = True, config=None,
-                 protocol: Optional[str] = None) -> Tuple[object, object]:
+                 protocol: Optional[str] = None,
+                 data_plane: Optional[str] = None) -> Tuple[object, object]:
     """Run ``app`` on the DSM and sanitize it; returns (outcome, report).
 
     ``online=True`` subscribes the sanitizer to the live bus (events
@@ -58,7 +59,7 @@ def sanitize_run(app, opt="aggr+cons", dataset: str = "tiny",
     out = run(RunSpec(app=name, mode="dsm", dataset=dataset,
                       nprocs=nprocs, page_size=page_size,
                       opt=opt_cfg, config=config, telemetry=tel,
-                      protocol=protocol))
+                      protocol=protocol, data_plane=data_plane))
     if not online:
         for ev in tel.bus.events:
             san.feed(ev)

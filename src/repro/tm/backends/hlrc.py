@@ -40,6 +40,7 @@ import numpy as np
 from repro.errors import ProtocolError
 from repro.memory.section import Section
 from repro.net.message import Message
+from repro.net import onesided as rdma
 from repro.rt.access import AccessType
 from repro.tm.coherence import CoherenceBackend, register
 from repro.tm.diffs import apply_diff, diff_payload_bytes
@@ -77,8 +78,29 @@ class HlrcBackend(CoherenceBackend):
         self._deferred: List[Tuple[str, Message]] = []
 
     def attach(self) -> None:
-        self.node.ep.on("home_flush", self._h_home_flush)
-        self.node.ep.on("page_req", self._h_page_req)
+        node = self.node
+        node.ep.on("home_flush", self._h_home_flush)
+        node.ep.on("page_req", self._h_page_req)
+        if node.osl is not None:
+            # One-sided page fetches read whole pages straight out of
+            # the home's image window; the guard only serves pages this
+            # node currently homes with a clean copy.  A mid-migration
+            # read misses and falls back to ``page_req``, which knows
+            # how to defer (see ``_h_page_req``).
+            psz = node.layout.page_size
+
+            def home_guard(op, node=node, psz=psz):
+                if op[0] != "read" or op[2] is None:
+                    return False
+                off, length = op[2], op[3]
+                if off % psz or length != psz:
+                    return False
+                p = off // psz
+                return (self.home_map[p] == node.pid
+                        and p not in self._pending_home
+                        and node.pages[p].valid)
+
+            node.osl.image_window.guard = home_guard
 
     def home(self, page: int) -> int:
         return self.home_map[page]
@@ -174,7 +196,25 @@ class HlrcBackend(CoherenceBackend):
                 by_home.setdefault(h, []).append(p)
         return local, by_home
 
-    def _send_page_requests(self, by_home) -> Dict[int, int]:
+    def _send_page_requests(self, by_home) -> Dict[int, object]:
+        if self.node.osl is not None:
+            return self._post_page_reads(by_home)
+        return self._send_page_requests_two(by_home)
+
+    def _post_page_reads(self, by_home) -> Dict[int, object]:
+        node = self.node
+        plane = node.osl.plane
+        psz = node.layout.page_size
+        expected: Dict[int, object] = {}
+        for h in sorted(by_home):
+            pages = tuple(by_home[h])
+            bid = plane.post_begin(
+                node.pid, h,
+                [rdma.read(("image",), p * psz, psz) for p in pages])
+            expected[h] = ("rdma", bid, pages)
+        return expected
+
+    def _send_page_requests_two(self, by_home) -> Dict[int, int]:
         node = self.node
         expected: Dict[int, int] = {}
         for h in sorted(by_home):
@@ -187,16 +227,39 @@ class HlrcBackend(CoherenceBackend):
             expected[h] = tag
         return expected
 
-    def _recv_and_install(self, expected: Dict[int, int],
+    def _recv_and_install(self, expected: Dict[int, object],
                           local: Sequence[int]) -> None:
         node = self.node
         responses = {}
         if expected:
             t0 = node.sys.engine.now
+            fb_by_home: Dict[int, List[int]] = {}
             for h in sorted(expected):
-                msg = node.ep.recv(kind="page_resp", src=h,
-                                   tag=expected[h])
-                responses[h] = msg.payload
+                ent = expected[h]
+                if isinstance(ent, tuple):
+                    _, bid, pages = ent
+                    results = node.osl.plane.post_wait(node.pid, h,
+                                                       bid)
+                    got = []
+                    for p, res in zip(pages, results):
+                        if res[0] == "miss":
+                            fb_by_home.setdefault(h, []).append(p)
+                            node.stats.onesided_fallbacks += 1
+                        else:
+                            node.stats.onesided_reads += 1
+                            got.append((p, res[1]))
+                    responses[h] = got
+                else:
+                    msg = node.ep.recv(kind="page_resp", src=h,
+                                       tag=ent)
+                    responses[h] = msg.payload
+            if fb_by_home:
+                fb = self._send_page_requests_two(fb_by_home)
+                for h in sorted(fb):
+                    msg = node.ep.recv(kind="page_resp", src=h,
+                                       tag=fb[h])
+                    responses[h] = list(responses.get(h, ())) \
+                        + list(msg.payload)
             node.stats.t_fetch_wait += node.sys.engine.now - t0
             if node.tel is not None:
                 node.tel.span(node.pid, "wait.fetch", t0,

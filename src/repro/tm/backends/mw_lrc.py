@@ -17,11 +17,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.memory.section import Section
 from repro.net.message import Message
+from repro.net import onesided as rdma
 from repro.rt.access import AccessType
 from repro.tm.coherence import CoherenceBackend, register
-from repro.tm.diffs import Diff, apply_diff, diff_payload_bytes
+from repro.tm.diffs import (Diff, apply_diff, diff_payload_bytes,
+                            full_page_diff)
 
 Key = Tuple[int, int]          # (writer, interval index)
 
@@ -77,7 +81,53 @@ class MwLrcBackend(CoherenceBackend):
                     missing.setdefault(w, []).append((p, i))
         return needed_by_page, missing
 
-    def _send_diff_requests(self, missing) -> List[Tuple[int, int]]:
+    def _send_diff_requests(self, missing) -> List[tuple]:
+        if self.node.osl is not None:
+            return self._post_diff_reads(missing)
+        return self._send_diff_requests_two(missing)
+
+    def _post_diff_reads(self, missing) -> List[tuple]:
+        """One-sided lowering: one batched read per writer pulls every
+        missing diff out of its registered windows (eager diffing
+        guarantees they exist); WRITE_ALL intervals, which never encode
+        a diff, read the whole page from the writer's image window.
+        A drained writer's at-or-below-watermark diffs read from its
+        steward's custody (``cdiff``) windows instead."""
+        node = self.node
+        plane = node.osl.plane
+        psz = node.layout.page_size
+        expected: List[tuple] = []
+        for w in sorted(missing):
+            entries = missing[w]
+            away = None if node.mm is None \
+                else node.mm.absent_writer(node.pid, w)
+            if away is not None:
+                steward, watermark = away
+                old = [(p, i) for (p, i) in entries if i <= watermark]
+                entries = [(p, i) for (p, i) in entries
+                           if i > watermark]
+                if old:
+                    batch = [rdma.read(("cdiff", w, i, p))
+                             for (p, i) in old]
+                    plan = [("diff", w, i, p) for (p, i) in old]
+                    bid = plane.post_begin(node.pid, steward, batch)
+                    expected.append(("rdma", steward, bid, plan))
+                if not entries:
+                    continue
+            batch, plan = [], []
+            for (p, i) in entries:
+                rec = node.intervals.get((w, i))
+                if rec is not None and p in rec.overwrite_pages:
+                    batch.append(rdma.read(("image",), p * psz, psz))
+                    plan.append(("page", w, i, p))
+                else:
+                    batch.append(rdma.read(("diff", i, p)))
+                    plan.append(("diff", w, i, p))
+            bid = plane.post_begin(node.pid, w, batch)
+            expected.append(("rdma", w, bid, plan))
+        return expected
+
+    def _send_diff_requests_two(self, missing) -> List[Tuple[int, int]]:
         node = self.node
         expected: List[Tuple[int, int]] = []
         for w in sorted(missing):
@@ -110,15 +160,41 @@ class MwLrcBackend(CoherenceBackend):
             expected.append((w, tag))
         return expected
 
-    def _recv_diff_responses(
-            self, expected: List[Tuple[int, int]]) -> None:
+    def _recv_diff_responses(self, expected: List[tuple]) -> None:
         if not expected:
             return
         node = self.node
         t0 = node.sys.engine.now
-        for serve, tag in expected:
-            msg = node.ep.recv(kind="diff_resp", src=serve, tag=tag)
-            node._store_diffs(msg.payload)
+        fallback: Dict[int, List[Tuple[int, int]]] = {}
+        for ent in expected:
+            if ent[0] == "rdma":
+                _, dst, bid, plan = ent
+                results = node.osl.plane.post_wait(node.pid, dst, bid)
+                diffs = []
+                for res, (kind, w, i, p) in zip(results, plan):
+                    if res[0] == "miss":
+                        # Guard veto: replay through the handler path.
+                        fallback.setdefault(w, []).append((p, i))
+                        node.stats.onesided_fallbacks += 1
+                        continue
+                    node.stats.onesided_reads += 1
+                    if kind == "page":
+                        diffs.append(full_page_diff(
+                            p, w, i,
+                            np.frombuffer(res[1], dtype=np.uint8)))
+                    else:
+                        diffs.append(res[1])
+                node._store_diffs(diffs)
+            else:
+                serve, tag = ent
+                msg = node.ep.recv(kind="diff_resp", src=serve,
+                                   tag=tag)
+                node._store_diffs(msg.payload)
+        if fallback:
+            for serve, tag in self._send_diff_requests_two(fallback):
+                msg = node.ep.recv(kind="diff_resp", src=serve,
+                                   tag=tag)
+                node._store_diffs(msg.payload)
         node.stats.t_fetch_wait += node.sys.engine.now - t0
         if node.tel is not None:
             node.tel.span(node.pid, "wait.fetch", t0,
@@ -297,6 +373,9 @@ class MwLrcBackend(CoherenceBackend):
             diffs = by_requester[requesters[0]]
             size = diff_payload_bytes(diffs)
             for j, req in enumerate(sorted(requesters)):
+                if node.osl is not None:
+                    node.osl.donate_send(req, tuple(diffs), size)
+                    continue
                 cost = (None if j == 0
                         else node.cfg.bcast_extra_per_dest)
                 node.ep.send(req, "diff_donate", payload=tuple(diffs),

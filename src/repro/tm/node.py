@@ -182,6 +182,15 @@ class TmNode:
         self._req_seq = 0
         self._push_round = 0
 
+        #: One-sided data-plane lowering (:mod:`repro.tm.onesided`);
+        #: ``None`` on the default two-sided plane keeps every hook
+        #: down to a single attribute test.  Built before the backend:
+        #: ``attach`` may install a guard on the image window.
+        self.osl = None
+        if getattr(system, "data_plane", None) == "onesided":
+            from repro.tm.onesided import NodeOneSided
+            self.osl = NodeOneSided(self)
+
         #: The data-movement policy (mw-lrc / hlrc / adaptive).
         self.coherence = system.backend_cls(self)
 
@@ -329,8 +338,12 @@ class TmNode:
                                  overwrite)
             self._record_interval(rec)
             self.dirty.clear()
-            if self.eager_diffing or (self.rm is not None
-                                      and self.rm.eager_pid(self.pid)):
+            if self.eager_diffing or self.osl is not None \
+                    or (self.rm is not None
+                        and self.rm.eager_pid(self.pid)):
+                # One-sided mode diffs eagerly by necessity: the NIC
+                # serves diff windows without running this CPU, so the
+                # diff must exist before any notice for it circulates.
                 for p in pages:
                     self._flush_undiffed(p)
         if self.tel is not None:
@@ -454,6 +467,8 @@ class TmNode:
         meta.undiffed = None
         meta.twin = None
         self.diff_store[(self.pid, interval, page)] = diff
+        if self.osl is not None:
+            self.osl.publish_diff(interval, page, diff)
         cost = self.cfg.diff_create_cost(self.layout.page_size)
         self.stats.t_diff += cost
         self.stats.diffs_created += 1
@@ -790,6 +805,14 @@ class TmNode:
                            "tm.lock_acquires", lid=lid)
         self._drain_async_plans()
         sreq, wsync = self._take_wsync_request()
+        if self.osl is not None and self.mm is None:
+            # CAS-spinlock fast path (no manager handler, no queues).
+            # Piggy-backed diff donation has no granter process to run
+            # on, so w_sync entries complete from locally-held diffs
+            # and the rest fault in — the paper's lock-grant rule.
+            self.osl.lock_acquire(lid)
+            self._complete_wsync(wsync)
+            return
         if self._has_token(lid) and lid not in self.lock_held:
             # Re-acquiring the lock we released last: purely local.
             self._charge(self.cfg.local_lock_cost)
@@ -834,6 +857,9 @@ class TmNode:
             self.tel.event(self.pid, "tm.lock_release", lid=lid)
         self.end_interval()
         self.lock_held.discard(lid)
+        if self.osl is not None and self.mm is None:
+            self.osl.lock_release(lid)
+            return
         pending = self.lock_pending.get(lid)
         if pending:
             requester, rvc, sreq = pending.pop(0)
@@ -1022,6 +1048,12 @@ class TmNode:
                 continue
             qvc, recs, _, _ = box[q]
             self.apply_notices(recs, qvc)
+        if self.osl is not None:
+            # The merged clock is the lock-release coverage floor: any
+            # processor running past this barrier dominates it, so a
+            # release meta based on it always passes the coverage check
+            # (clients record it at depart; the master records it here).
+            self.master_seen_vc = list(self.vc)
         sreqs = tuple(entry[2] for _, entry in sorted(box.items())
                       if entry[2] is not None)
         plan = self.coherence.barrier_plan(
@@ -1102,8 +1134,13 @@ class TmNode:
                 data = self.image.section_view(sec).copy()
                 payload.append((sec, data))
                 size += self.layout.section_nbytes(sec)
-            self.ep.send(q, "push_data", payload=(index, tuple(payload)),
-                         size=size, tag=round_tag)
+            if self.osl is not None:
+                self.osl.push_send(q, index, tuple(payload), size,
+                                   round_tag)
+            else:
+                self.ep.send(q, "push_data",
+                             payload=(index, tuple(payload)),
+                             size=size, tag=round_tag)
         if asynchronous:
             senders = []
             pages: Set[int] = set()
@@ -1138,8 +1175,12 @@ class TmNode:
             return
         t0 = self.sys.engine.now
         for q in senders:
-            msg = self.ep.recv(kind="push_data", src=q, tag=round_tag)
-            sender_index, payload = msg.payload
+            if self.osl is not None:
+                sender_index, payload = self.osl.take_push(q, round_tag)
+            else:
+                msg = self.ep.recv(kind="push_data", src=q,
+                                   tag=round_tag)
+                sender_index, payload = msg.payload
             for sec, data in payload:
                 self.image.section_view(sec)[...] = data
                 self._sync_twins_with_image(sec)
@@ -1206,6 +1247,8 @@ class TmNode:
         self.diff_store.clear()
         for meta in self.pages:
             meta.valid = True
+        if self.osl is not None:
+            self.osl.on_gc_discard()
         self.coherence.on_gc_discard()
         if self.rm is not None:
             self.rm.on_gc_discard(self.pid)

@@ -36,6 +36,19 @@ class TmStats:
     #: Home migrations decided at barriers (master counts them).
     home_migrations: int = 0
 
+    # --- one-sided data plane (zero on the default two-sided plane) ---
+    #: Diffs / pages pulled by one-sided reads (no remote CPU).
+    onesided_reads: int = 0
+    #: Push payloads deposited by one-sided writes.
+    onesided_writes: int = 0
+    #: Lock acquires won on the CAS fast path (no manager handler).
+    onesided_lock_fast: int = 0
+    #: CAS retries while spinning on a held lock token.
+    onesided_lock_retries: int = 0
+    #: One-sided attempts that fell back to the two-sided handler path
+    #: (guard veto, coverage miss, membership custody).
+    onesided_fallbacks: int = 0
+
     # --- simulated-time breakdown (microseconds) ----------------------
     #: Application compute charged through the runtime.
     t_compute: float = 0.0

@@ -60,6 +60,7 @@ class TmSystem:
                  telemetry=None, faults=None, transport=None,
                  recovery_log_limit: Optional[int] = None,
                  protocol: Optional[str] = None,
+                 data_plane: Optional[str] = None,
                  profile=None, monitor=None) -> None:
         self.nprocs = nprocs
         self.layout = layout
@@ -95,6 +96,27 @@ class TmSystem:
         self.net = Network(self.engine, self.config, nprocs,
                            telemetry=telemetry, faults=faults,
                            transport=transport)
+        #: Data plane: ``None``/"twosided" keeps every protocol message
+        #: on the classic handler/mailbox paths (byte-identical to the
+        #: pre-one-sided build); "onesided" builds the RDMA-style plane
+        #: and the hot paths (diff fetch, Push, lock grant) lower onto
+        #: it with a two-sided handler fallback.
+        if data_plane in (None, "twosided"):
+            self.data_plane = None
+        elif data_plane == "onesided":
+            if faults is not None and getattr(faults, "crashes", ()):
+                raise ReproError(
+                    "data_plane='onesided' does not support scheduled "
+                    "node crashes (backup logging replays the "
+                    "two-sided diff protocol); run crash schedules on "
+                    "the default data plane")
+            from repro.net.onesided import OneSidedPlane
+            self.net.onesided = OneSidedPlane(self.net)
+            self.data_plane = "onesided"
+        else:
+            raise ReproError(
+                f"unknown data_plane {data_plane!r}; expected "
+                f"'twosided' (default) or 'onesided'")
         #: Optional :class:`repro.recovery.RecoveryManager`; built when
         #: the fault plan schedules node crashes.  Must exist before the
         #: nodes: each :class:`TmNode` captures it at construction.
